@@ -1,0 +1,1 @@
+"""Per-figure benchmark harnesses (see DESIGN.md section 3)."""

@@ -1,0 +1,53 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every module in this directory regenerates one table/figure of the
+paper's evaluation (see DESIGN.md §3) and prints the series it measured
+next to the paper's reported values.  Absolute numbers come from a
+simulator, not the authors' testbed; the assertions check the *shape*
+(who wins, roughly by what factor) as required for the reproduction.
+"""
+
+import pytest
+
+from repro.apps.loadgen import LoadGenerator
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render a small aligned table to stdout (captured by -s / report)."""
+    widths = [max(len(str(header)), *(len(str(row[i])) for row in rows))
+              for i, header in enumerate(headers)]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(header).ljust(width)
+                    for header, width in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)))
+
+
+def deploy_deepflow(cluster, mode="full"):
+    """Deploy server + one agent per node; returns (server, agents)."""
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy(mode=mode)
+        agents.append(agent)
+    return server, agents
+
+
+def flush_all(sim, agents, extra=0.5):
+    sim.run(until=sim.now + extra)
+    for agent in agents:
+        agent.flush(expire=True)
+
+
+def run_wrk2(sim, pod, target_ip, target_port, *, rate, duration,
+             connections=8, path="/", name="wrk2"):
+    generator = LoadGenerator(pod.node, target_ip, target_port, rate=rate,
+                              duration=duration, connections=connections,
+                              path=path, pod=pod, name=name)
+    return sim.run_process(generator.run())

@@ -1,0 +1,49 @@
+"""Figure 2 — sources of performance anomalies.
+
+Two halves:
+
+* the survey series the paper plots (§2.2.1), re-derived from the data
+  recorded in :mod:`repro.survey.failures`;
+* the empirical check: a fault-injection campaign over the simulated
+  infrastructure injects one representative fault per category and the
+  automated root-cause analysis must localize each — demonstrating that
+  the network-centric traces carry enough evidence to attribute failures
+  to every category the survey names.
+"""
+
+from benchmarks.conftest import print_table
+
+from repro.analysis.campaign import CATEGORIES, FaultCampaign
+from repro.survey.failures import fig2a_series, fig2b_series, validate
+
+
+def test_fig2a_survey_series(benchmark):
+    series = benchmark.pedantic(fig2a_series, rounds=1, iterations=1)
+    validate()
+    rows = [(category, f"{fraction * 100:.1f}%")
+            for category, fraction in series]
+    print_table("Fig 2(a): failure sources (survey)",
+                ["source", "share"], rows)
+    assert series[0] == ("network infrastructure", 0.473)
+    assert series[1] == ("application", 0.327)
+
+
+def test_fig2b_network_breakdown(benchmark):
+    series = benchmark.pedantic(fig2b_series, rounds=1, iterations=1)
+    rows = [(category, f"{fraction * 100:.1f}%")
+            for category, fraction in series]
+    print_table("Fig 2(b): network-side failure breakdown (survey)",
+                ["location", "share of all failures"], rows)
+    assert series[0] == ("virtual network", 0.308)
+
+
+def test_fig2_fault_injection_campaign(benchmark):
+    result = benchmark.pedantic(lambda: FaultCampaign(seed=11).run(),
+                                rounds=1, iterations=1)
+    rows = [(outcome.injected, outcome.detected, outcome.culprit,
+             "OK" if outcome.correct else "MISS")
+            for outcome in result.outcomes]
+    print_table("Fig 2 (empirical): injected vs diagnosed category",
+                ["injected", "diagnosed", "culprit", "verdict"], rows)
+    assert result.accuracy == 1.0
+    assert set(result.detected_counts()) == set(CATEGORIES)

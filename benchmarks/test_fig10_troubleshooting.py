@@ -1,0 +1,54 @@
+"""Figure 10 — DeepFlow's contribution in production cases.
+
+(a) time spent locating performance problems before vs with DeepFlow
+    (Q9/Q10 of the Appendix C questionnaire);
+(b) primary advantages reported by users (Q11 free text, categorized by
+    the §4 rubric: 5 network coverage, 4 non-intrusive, 3 closed-source).
+"""
+
+from benchmarks.conftest import print_table
+
+from repro.survey.questionnaire import (
+    DURATION_ORDER,
+    fig10a_locate_series,
+    fig10b_advantages,
+    improvement_summary,
+)
+
+
+def test_fig10a_time_to_locate(benchmark):
+    series = benchmark.pedantic(fig10a_locate_series, rounds=1,
+                                iterations=1)
+    rows = [(bucket, series["before_deepflow"][bucket],
+             series["with_deepflow"][bucket])
+            for bucket in DURATION_ORDER]
+    print_table("Fig 10(a): time to locate a fault",
+                ["bucket", "before DeepFlow", "with DeepFlow"], rows)
+    # Shape: the distribution shifts toward shorter durations.
+    rank = {bucket: index for index, bucket in enumerate(DURATION_ORDER)}
+
+    def mean_rank(counts):
+        total = sum(counts.values())
+        return sum(rank[bucket] * count
+                   for bucket, count in counts.items()) / total
+
+    assert (mean_rank(series["with_deepflow"])
+            < mean_rank(series["before_deepflow"]))
+    # "Hrs" answers drop from 5 to 1; nobody gets slower by bucket.
+    assert series["before_deepflow"]["Hrs"] == 5
+    assert series["with_deepflow"]["Hrs"] == 1
+    summary = improvement_summary()
+    assert summary["users_locating_faster"] >= 4
+
+
+def test_fig10b_primary_advantages(benchmark):
+    counts = benchmark.pedantic(fig10b_advantages, rounds=1, iterations=1)
+    rows = sorted(counts.items(), key=lambda item: -item[1])
+    print_table("Fig 10(b): primary advantages (Q11)",
+                ["advantage", "users"], rows)
+    # §4: "Five out of ten consumers acknowledge that network coverage
+    # ... Four users find the non-intrusive instrumentation helpful.
+    # Three users believe the tracing of closed-source components..."
+    assert counts["network coverage"] == 5
+    assert counts["non-intrusive instrumentation"] == 4
+    assert counts["closed-source tracing"] == 3

@@ -1,0 +1,117 @@
+"""Figure 15 — user query delay of spans and traces.
+
+Paper protocol (§5.3): generate sufficient spans with load generators,
+then issue span-list queries (15-minute range) and single-trace queries,
+each both sequentially and randomly, via serial calls.  Paper results:
+one trace assembles in ≈1 s, a 15-minute span list returns in ≈0.06 s —
+the trace query is roughly an order of magnitude slower because it runs
+Algorithm 1's iterative search.
+
+We populate the store by actually running the Spring-Boot demo under
+DeepFlow (every span goes through the real pipeline), then benchmark the
+two query classes and assert the ordering.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import deploy_deepflow, flush_all, print_table, \
+    run_wrk2
+
+from repro.apps import springboot
+from repro.core.span import SpanSide
+from repro.sim.engine import Simulator
+
+REQUESTS_TARGET = 400
+
+
+@pytest.fixture(scope="module")
+def populated_server():
+    sim = Simulator(seed=77)
+    demo = springboot.build(sim)
+    server, agents = deploy_deepflow(demo.cluster)
+    report = run_wrk2(sim, demo.pods["loadgen"], demo.entry_ip,
+                      demo.entry_port, rate=REQUESTS_TARGET / 2.0,
+                      duration=2.0, connections=8, path="/api/orders")
+    flush_all(sim, agents)
+    assert report.completed > REQUESTS_TARGET * 0.9
+    client_spans = [span for span in server.store.all_spans()
+                    if span.side is SpanSide.CLIENT
+                    and span.process_name == "wrk2"]
+    return server, client_spans, sim
+
+
+def test_fig15_span_list_query(benchmark, populated_server):
+    server, _client_spans, sim = populated_server
+    result = benchmark(lambda: server.span_list(0.0, sim.now))
+    assert len(result) == len(server.store)
+
+
+def test_fig15_trace_query_sequential(benchmark, populated_server):
+    server, client_spans, _sim = populated_server
+    iterator = iter(client_spans * 1000)
+
+    def query_next():
+        return server.trace(next(iterator).span_id)
+
+    trace = benchmark(query_next)
+    assert len(trace) == 10
+
+
+def test_fig15_trace_query_random(benchmark, populated_server):
+    server, client_spans, _sim = populated_server
+    import random
+    rng = random.Random(5)
+
+    def query_random():
+        return server.trace(rng.choice(client_spans).span_id)
+
+    trace = benchmark(query_random)
+    assert len(trace) == 10
+
+
+def test_fig15_trace_assembly_dearer_per_span(benchmark,
+                                              populated_server):
+    """The headline shape: per span returned, trace assembly is orders
+    of magnitude more expensive than a span-list scan, because it runs
+    Algorithm 1's iterative multi-round search (in the paper the gap is
+    1 s vs 0.06 s with ClickHouse round trips; our store is in-process,
+    so the honest comparison is per-unit-data cost).
+    """
+    server, client_spans, sim = populated_server
+    rounds = 20
+    start = time.perf_counter()
+    span_list_size = 0
+    for _ in range(rounds):
+        span_list_size = len(server.span_list(0.0, sim.now))
+    span_list_delay = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    trace_size = 0
+    for span in client_spans[:rounds]:
+        trace_size = len(server.trace(span.span_id))
+    trace_delay = (time.perf_counter() - start) / rounds
+    per_span_list = span_list_delay / span_list_size
+    per_span_trace = trace_delay / trace_size
+    print_table(
+        "Fig 15: query delay",
+        ["query", "delay (ms)", "spans", "us/span", "paper delay"],
+        [("span list", f"{span_list_delay * 1000:.3f}",
+          span_list_size, f"{per_span_list * 1e6:.2f}", "~60 ms"),
+         ("trace", f"{trace_delay * 1000:.3f}", trace_size,
+          f"{per_span_trace * 1e6:.2f}", "~1000 ms")])
+    assert per_span_trace > 10 * per_span_list
+    benchmark.pedantic(
+        lambda: server.trace(client_spans[0].span_id),
+        rounds=5, iterations=1)
+
+
+def test_fig15_algorithm1_converges_quickly(benchmark, populated_server):
+    """Iterative search issues several store searches, stopping well
+    under the 30-iteration default."""
+    server, client_spans, _sim = populated_server
+    before = server.store.search_count
+    benchmark.pedantic(lambda: server.trace(client_spans[0].span_id),
+                       rounds=1, iterations=1)
+    assert server.assembler.last_iteration_count <= 6
+    assert server.store.search_count - before >= 2

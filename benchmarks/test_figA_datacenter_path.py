@@ -1,0 +1,120 @@
+"""Appendix A (Figures 17–18) — full request coverage in a data center.
+
+The extended trace path:
+
+    client process ⇄ sidecar ⇄ client pod ⇄ client node ⇄ client physical
+    machine ⇄ (L4 gateway) ⇄ server physical machine ⇄ server node ⇄
+    server pod ⇄ sidecar ⇄ server application process
+
+With agents on the end hosts, capture taps on every device, and the L4
+gateway traffic mirrored (its TCP sequence is preserved, so its spans
+join the flow), one request produces a hop-by-hop trace from the client
+process all the way to the server process — "the full coverage of a
+request in the data center".
+"""
+
+import pytest
+
+from benchmarks.conftest import deploy_deepflow, flush_all, print_table, \
+    run_wrk2
+
+from repro.apps.proxy import EnvoySidecar
+from repro.apps.runtime import HttpService, Response
+from repro.core.span import SpanKind, SpanSide
+from repro.network.topology import ClusterBuilder, Device, DeviceKind
+from repro.network.transport import Network
+from repro.sim.engine import Simulator
+
+
+def _build_datacenter():
+    sim = Simulator(seed=19)
+    builder = ClusterBuilder(node_count=2)
+    client_pod = builder.add_pod(0, "client-pod")
+    server_pod = builder.add_pod(1, "server-pod")
+    cluster = builder.build()
+    # An L4 gateway (server load balancer) between the nodes; L4
+    # forwarding preserves the TCP sequence (Appendix A).
+    gateway = Device("l4-gateway-1", DeviceKind.L4_GATEWAY,
+                     tags={"cluster": cluster.name})
+    cluster.add_middlebox(gateway)
+    network = Network(sim, cluster)
+    server, agents = deploy_deepflow(cluster)
+
+    app = HttpService("server-app", server_pod.node, 9080, pod=server_pod,
+                      service_time=0.001)
+
+    @app.route("/")
+    def index(worker, request):
+        yield from worker.work(0.0002)
+        return Response(200, body=b"ok")
+
+    app.start()
+    sidecar = EnvoySidecar("server-sidecar", server_pod.node, 15001,
+                           app_ip=server_pod.ip, app_port=9080,
+                           pod=server_pod)
+    sidecar.start()
+    # Mirror every device on the path to the DeepFlow agents (ToR
+    # mirroring / AF_PACKET taps).
+    path = network.route(client_pod.ip, server_pod.ip)
+    for device in path:
+        agents[0].enable_capture(device)
+    return sim, network, server, agents, client_pod, server_pod, path
+
+
+def test_figA_hop_by_hop_coverage(benchmark):
+    (sim, network, server, agents, client_pod, server_pod,
+     path) = benchmark.pedantic(_build_datacenter, rounds=1, iterations=1)
+    report = run_wrk2(sim, client_pod, server_pod.ip, 15001, rate=5,
+                      duration=0.4, connections=1, name="client-app")
+    flush_all(sim, agents)
+    assert report.errors == 0
+    start = server.slowest_span()
+    trace = server.trace(start.span_id)
+    rows = []
+    for span in sorted(trace, key=lambda s: (s.start_time, s.span_id)):
+        where = span.device_name or f"{span.process_name}@{span.host}"
+        rows.append((f"{span.kind.value}/{span.side.value}", where,
+                     f"{span.duration * 1e3:.3f}"))
+    print_table("Fig 17/18 (Appendix A): hop-by-hop trace",
+                ["span", "location", "ms"], rows)
+    # End hosts: client process, sidecar (server+client), app server.
+    processes = {(span.process_name, span.side.value) for span in trace
+                 if span.kind is SpanKind.SYSCALL}
+    assert ("client-app", "c") in processes
+    assert ("server-sidecar", "s") in processes
+    assert ("server-sidecar", "c") in processes
+    assert ("server-app", "s") in processes
+    # Network: every device on the client->sidecar path produced a span,
+    # including the L4 gateway.
+    hop_devices = {span.device_name for span in trace
+                   if span.kind is SpanKind.NETWORK}
+    assert {device.name for device in path} <= hop_devices
+    assert "l4-gateway-1" in hop_devices
+    # The chain is fully parented: exactly one root (the client span).
+    roots = trace.roots()
+    assert len(roots) == 1
+    assert roots[0].process_name == "client-app"
+    # Every network span sits between the two endpoint spans in time.
+    client_span = roots[0]
+    for span in trace:
+        if span.kind is SpanKind.NETWORK:
+            assert client_span.start_time <= span.start_time
+            assert span.end_time <= client_span.end_time
+
+
+def test_figA_gateway_preserves_tcp_seq(benchmark):
+    (sim, network, server, agents, client_pod, server_pod,
+     path) = benchmark.pedantic(_build_datacenter, rounds=1, iterations=1)
+    report = run_wrk2(sim, client_pod, server_pod.ip, 15001, rate=5,
+                      duration=0.2, connections=1, name="client-app")
+    flush_all(sim, agents)
+    assert report.errors == 0
+    trace = server.trace(server.slowest_span().span_id)
+    gateway_spans = [span for span in trace
+                     if span.device_name == "l4-gateway-1"]
+    client_spans = [span for span in trace
+                    if span.process_name == "client-app"]
+    assert gateway_spans and client_spans
+    assert (gateway_spans[0].req_tcp_seq
+            == client_spans[0].req_tcp_seq)
+    assert gateway_spans[0].flow_key == client_spans[0].flow_key

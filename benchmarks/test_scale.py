@@ -1,0 +1,90 @@
+"""Scale stress: large generated topologies through the full pipeline.
+
+The paper motivates DeepFlow with service graphs of up to 1,500
+components [89]; this bench pushes a generated multi-layer graph
+(tens of services, deep fan-out traces) through agents, store, and
+Algorithm 1, reporting span volume and assembly time at scale.
+"""
+
+import time
+
+from benchmarks.conftest import deploy_deepflow, flush_all, print_table, \
+    run_wrk2
+
+from repro.apps.servicegen import generate
+from repro.sim.engine import Simulator
+
+
+def test_scale_generated_topology(benchmark):
+    def run():
+        sim = Simulator(seed=401)
+        app = generate(sim, layers=4, width=6, fanout=3, node_count=6)
+        server, agents = deploy_deepflow(app.cluster)
+        report = run_wrk2(sim, app.pods["loadgen"], app.entry_ip,
+                          app.entry_port, rate=20, duration=0.5,
+                          connections=4)
+        flush_all(sim, agents)
+        start_clock = time.perf_counter()
+        trace = server.trace(server.slowest_span().span_id)
+        assembly_seconds = time.perf_counter() - start_clock
+        return app, server, report, trace, assembly_seconds
+
+    app, server, report, trace, assembly_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    expected_spans = 2 * app.sessions_per_request()
+    print_table(
+        "Scale: generated 4-layer topology",
+        ["quantity", "value"],
+        [("services deployed", len(app.services)),
+         ("call edges", len(app.edges)),
+         ("requests completed", report.completed),
+         ("spans stored", len(server.store)),
+         ("spans per trace", len(trace)),
+         ("trace assembly time", f"{assembly_seconds * 1e3:.2f} ms"),
+         ("Algorithm 1 iterations",
+          server.assembler.last_iteration_count)])
+    assert report.errors == 0
+    assert len(app.services) >= 16
+    assert len(trace) == expected_spans
+    assert len(trace.roots()) == 1
+    assert len(server.store) == report.completed * expected_spans
+    # Deep traces still converge comfortably inside the default budget.
+    assert server.assembler.last_iteration_count <= 10
+
+
+def test_scale_store_handles_many_spans(benchmark):
+    """Insert + query 50k synthetic spans through the store indexes."""
+    from repro.core.ids import IdAllocator
+    from repro.core.span import Span, SpanKind, SpanSide
+    from repro.server.database import AssociationFilter, SpanStore
+
+    ids = IdAllocator(7)
+    store = SpanStore()
+    spans = []
+    for index in range(50_000):
+        spans.append(Span(
+            span_id=ids.next_id(), kind=SpanKind.SYSCALL,
+            side=SpanSide.CLIENT if index % 2 else SpanSide.SERVER,
+            start_time=index * 1e-4, end_time=index * 1e-4 + 1e-3,
+            systrace_id=index // 4,
+            flow_key=("flow", index % 977),
+            req_tcp_seq=index,
+        ))
+    start_clock = time.perf_counter()
+    store.insert_many(spans)
+    insert_seconds = time.perf_counter() - start_clock
+
+    assoc = AssociationFilter()
+    assoc.absorb(spans[1234])
+
+    def search():
+        return store.search(assoc)
+
+    result = benchmark(search)
+    print_table(
+        "Scale: span store with 50k spans",
+        ["quantity", "value"],
+        [("insert rate", f"{50_000 / insert_seconds:,.0f} spans/s"),
+         ("indexed search result", len(result))])
+    assert len(store) == 50_000
+    assert result  # systrace + flow-seq matches found

@@ -1,0 +1,85 @@
+"""Appendix A — a request travelling through the data center (Fig 17/18).
+
+Traditional tracing stops at the sidecar.  With DeepFlow agents on the
+end hosts, capture taps on every device, and the L4 gateway's mirrored
+traffic (its forwarding preserves the TCP sequence number), one request
+produces a hop-by-hop trace:
+
+    client process ⇄ pod ⇄ node ⇄ physical machine ⇄ L4 gateway ⇄
+    physical machine ⇄ node ⇄ pod ⇄ sidecar ⇄ server process
+
+Run:  python examples/datacenter_path.py
+"""
+
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.proxy import EnvoySidecar
+from repro.apps.runtime import HttpService, Response
+from repro.core.span import SpanKind
+from repro.network.topology import ClusterBuilder, Device, DeviceKind
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=17)
+    builder = ClusterBuilder(node_count=2)
+    client_pod = builder.add_pod(0, "client-pod")
+    server_pod = builder.add_pod(1, "server-pod")
+    cluster = builder.build()
+    # A server load balancer (L4) between the racks.
+    gateway = Device("slb-1", DeviceKind.L4_GATEWAY,
+                     tags={"cluster": cluster.name})
+    cluster.add_middlebox(gateway)
+    network = Network(sim, cluster)
+
+    app = HttpService("server-app", server_pod.node, 9080, pod=server_pod,
+                      service_time=0.001)
+
+    @app.route("/")
+    def index(worker, request):
+        yield from worker.work(0.0002)
+        return Response(200, body=b"hello")
+
+    app.start()
+    sidecar = EnvoySidecar("server-sidecar", server_pod.node, 15001,
+                           app_ip=server_pod.ip, app_port=9080,
+                           pod=server_pod)
+    sidecar.start()
+
+    server, agents = DeepFlowServer(), []
+    deepflow = DeepFlowServer()
+    for node in cluster.nodes:
+        agent = deepflow.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+    # Tap every device on the path (AF_PACKET on hosts, ToR mirroring
+    # for the fabric and the gateway).
+    path = network.route(client_pod.ip, server_pod.ip)
+    for device in path:
+        agents[0].enable_capture(device)
+    print("capture points enabled on:",
+          ", ".join(device.name for device in path), "\n")
+
+    generator = LoadGenerator(client_pod.node, server_pod.ip, 15001,
+                              rate=5, duration=0.4, connections=1,
+                              pod=client_pod, name="client-app")
+    report = sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.5)
+    for agent in agents:
+        agent.flush()
+    assert report.errors == 0
+
+    trace = deepflow.trace(deepflow.slowest_span().span_id)
+    print(f"hop-by-hop trace ({len(trace)} spans):\n")
+    print(trace.to_text())
+    hops = [span.device_name for span in trace
+            if span.kind is SpanKind.NETWORK]
+    print(f"\nnetwork hops covered: {len(hops)} "
+          f"(including the L4 gateway: {'slb-1' in hops})")
+    print("full coverage of the request in the data center — from the "
+          "client process to the server application process.")
+
+
+if __name__ == "__main__":
+    main()

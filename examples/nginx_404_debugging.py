@@ -1,0 +1,101 @@
+"""Case study §4.1.1 — performance debugging during execution (Fig 11).
+
+A client reports timeouts on the ``/checkout`` endpoint.  The invocation
+path runs through an edge load balancer and three Nginx ingress pods; in
+the production incident the operators spent an entire day because the
+path was full of blind spots.  With DeepFlow deployed *while the service
+is live* (no restarts, no code changes), the failing pod falls out of the
+first assembled trace.
+
+Run:  python examples/nginx_404_debugging.py
+"""
+
+from repro.analysis.rootcause import deepest_error_span, diagnose
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.proxy import NginxProxy
+from repro.apps.runtime import HttpService, Response
+from repro.core.span import SpanSide
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=2024)
+    builder = ClusterBuilder(node_count=3)
+    client_pod = builder.add_pod(0, "client-pod")
+    edge_pod = builder.add_pod(0, "edge-lb")
+    ingress_pods = [builder.add_pod(i, f"nginx-ingress-{i}")
+                    for i in range(3)]
+    backend_pod = builder.add_pod(2, "shop-backend")
+    cluster = builder.build()
+    network = Network(sim, cluster)
+
+    backend = HttpService("shop", backend_pod.node, 9000, pod=backend_pod,
+                          service_time=0.001)
+
+    @backend.route("/")
+    def shop(worker, request):
+        yield from worker.work(0.0005)
+        return Response(200, body=b"checkout ok")
+
+    backend.start()
+    ingresses = []
+    for index, pod in enumerate(ingress_pods):
+        ingress = NginxProxy(f"nginx-ingress-{index}", pod.node, 8081,
+                             pod=pod)
+        ingress.add_route("/", [(backend_pod.ip, 9000)])
+        ingress.start()
+        ingresses.append(ingress)
+    edge = NginxProxy("edge-lb", edge_pod.node, 8080, pod=edge_pod)
+    edge.add_route("/", [(pod.ip, 8081) for pod in ingress_pods])
+    edge.start()
+
+    # The latent bug: one ingress pod misroutes /checkout to a 404.
+    ingresses[1].inject_fault("/checkout", status_code=404)
+
+    # The service is already live and failing.  Deploy DeepFlow now —
+    # on the fly, zero code.
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+    print("DeepFlow deployed on the running cluster "
+          "(no restart, no instrumentation).\n")
+
+    generator = LoadGenerator(client_pod.node, edge_pod.ip, 8080, rate=30,
+                              duration=0.5, connections=3,
+                              path="/checkout", pod=client_pod,
+                              name="client")
+    report = sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.5)
+    for agent in agents:
+        agent.flush()
+
+    print(f"traffic: {report.sent} requests, {report.errors} failed "
+          f"({report.errors / report.sent:.0%} — one of three pods)\n")
+
+    # The operator workflow: open the latest failing invocation.
+    failing = max((span for span in server.store.all_spans()
+                   if span.is_error and span.side is SpanSide.CLIENT),
+                  key=lambda span: span.start_time)
+    trace = server.trace(failing.span_id)
+    print(f"assembled trace of a failing request ({len(trace)} spans):\n")
+    print(trace.to_text())
+
+    culprit = deepest_error_span(trace)
+    print(f"\ndeepest error span: {culprit.endpoint} "
+          f"[{culprit.status_code}]")
+    print(f"located in pod:     {culprit.tags.get('pod')} "
+          f"on {culprit.tags.get('node')}")
+    print("\nautomated diagnosis:")
+    print(diagnose(trace, cluster=cluster).describe())
+    print("\npaper: root cause identified within 15 minutes "
+          "(vs one day with conventional tools).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Third-party span integration (§3.3.2) — DeepFlow + OpenTelemetry.
+
+A team already instruments one service with a Jaeger-style tracer; the
+rest of the fleet is untraced.  DeepFlow ingests the third-party spans,
+extracts their trace context from the message headers it captures anyway,
+and weaves *both* span sources into a single trace: application spans
+nested inside the eBPF spans of the same requests.
+
+Run:  python examples/otel_integration.py
+"""
+
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.runtime import HttpService, Response
+from repro.baselines.tracers import JaegerTracer
+from repro.core.span import SpanKind
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=33)
+    builder = ClusterBuilder(node_count=3)
+    client_pod = builder.add_pod(0, "client-pod")
+    traced_pod = builder.add_pod(1, "orders-pod",
+                                 labels={"app": "orders"})
+    plain_pod = builder.add_pod(2, "inventory-pod",
+                                labels={"app": "inventory"})
+    cluster = builder.build()
+    Network(sim, cluster)
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+
+    # The one service the team already instrumented, exporting its app
+    # spans to DeepFlow (the third-party integration path).
+    tracer = JaegerTracer(sim, overhead=50e-6, export_server=server)
+
+    inventory = HttpService("inventory", plain_pod.node, 9100,
+                            pod=plain_pod, service_time=0.002)
+
+    @inventory.route("/")
+    def stock(worker, request):
+        yield from worker.work(0.0005)
+        return Response(200, body=b'{"stock": 12}')
+
+    inventory.start()
+
+    orders = HttpService("orders", traced_pod.node, 8000, pod=traced_pod,
+                         tracer=tracer, service_time=0.001)
+
+    @orders.route("/")
+    def order(worker, request):
+        upstream = yield from orders.call_downstream(
+            worker, plain_pod.ip, 9100, "GET", "/stock/42")
+        return Response(upstream.status_code)
+
+    orders.start()
+
+    generator = LoadGenerator(client_pod.node, traced_pod.ip, 8000,
+                              rate=10, duration=0.4, connections=1,
+                              pod=client_pod, name="client")
+    report = sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.5)
+    for agent in agents:
+        agent.flush()
+    assert report.errors == 0
+
+    trace = server.trace(server.slowest_span().span_id)
+    print(f"one trace, two span sources ({len(trace)} spans):\n")
+    print(trace.to_text())
+    app_spans = [span for span in trace if span.kind is SpanKind.APP]
+    ebpf_spans = [span for span in trace if span.kind is not SpanKind.APP]
+    print(f"\n  {len(ebpf_spans)} eBPF spans (zero-code, network-wide)")
+    print(f"  {len(app_spans)} OpenTelemetry app spans "
+          f"(trace id {app_spans[0].otel_trace_id[:8]}..., extracted "
+          "from the traceparent header DeepFlow captured on the wire)")
+    print("\nthe intrusive tracer stops at the instrumented service; "
+          "DeepFlow covers the caller, the callee, and the wire around "
+          "them — and stitches both views together.")
+
+
+if __name__ == "__main__":
+    main()

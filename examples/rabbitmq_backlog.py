@@ -1,0 +1,107 @@
+"""Case study §4.1.3 — cooperative debugging with metrics + traces (Fig 12).
+
+An online service sees frequent latency spikes and connection
+terminations.  Application-level tracing shows only *which* spans were
+affected; network analyzers drown in packets.  DeepFlow's tag-based
+correlation joins both: the failing trace's spans carry the broker pod's
+resource tags, the broker's queue-depth gauge carries the same tags, and
+the join reveals a RabbitMQ backlog resetting TCP connections — in one
+minute instead of six hours.
+
+Run:  python examples/rabbitmq_backlog.py
+"""
+
+from repro.analysis.rootcause import diagnose
+from repro.apps.rabbitmq import RabbitMQBroker, publish
+from repro.apps.runtime import WorkerContext
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=413)
+    builder = ClusterBuilder(node_count=3)
+    producer_pod = builder.add_pod(0, "order-service-pod")
+    mq_pod = builder.add_pod(2, "rabbitmq-pod")
+    cluster = builder.build()
+    network = Network(sim, cluster)
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+
+    # The broker: a slow consumer and a bounded queue; once backlogged it
+    # tears producer connections down (the production failure mode).
+    broker = RabbitMQBroker("rabbitmq", mq_pod.node, 5672, pod=mq_pod,
+                            queue_capacity=5, consume_rate=2.0,
+                            reset_on_backlog=True)
+    broker.start()
+    broker.start_metrics_exporter(server.metrics, interval=0.2)
+
+    kernel = network.kernel_for_node(producer_pod.node.name)
+    process = kernel.create_process("order-service", producer_pod.ip)
+    thread = kernel.create_thread(process)
+
+    class _Component:
+        pass
+
+    component = _Component()
+    component.kernel = kernel
+    component.ingress_abi = "read"
+    component.egress_abi = "write"
+    component.sim = sim
+    worker = WorkerContext(component, thread, None)
+    outcomes = {"acks": 0, "resets": 0}
+
+    def producer_main():
+        for tag in range(40):
+            try:
+                ack = yield from publish(worker, mq_pod.ip, 5672,
+                                         channel=1, delivery_tag=tag,
+                                         queue="orders", body=b"job")
+                if ack is not None and not ack.is_error:
+                    outcomes["acks"] += 1
+            except ConnectionResetError:
+                outcomes["resets"] += 1
+            yield 0.05
+
+    sim.run_process(sim.spawn(producer_main(), name="producer"))
+    sim.run(until=sim.now + 1.0)
+    for agent in agents:
+        agent.flush(expire=True)
+
+    print(f"producer outcome: {outcomes['acks']} acks, "
+          f"{outcomes['resets']} connections reset by the broker\n")
+
+    # Minute one: open the latest failing trace.
+    failing = max((span for span in server.store.all_spans()
+                   if span.is_error and span.protocol == "amqp"),
+                  key=lambda span: span.start_time)
+    trace = server.trace(failing.span_id)
+    print(f"failing trace ({len(trace)} spans):")
+    print(trace.to_text())
+    reset_count = max(span.metrics.get("tcp.resets", 0)
+                      for span in trace)
+    print(f"\nflow metrics on the trace: tcp.resets = {reset_count:.0f}")
+
+    # Metric-by-metric analysis via shared tags (Fig 12's workflow).
+    correlated = server.correlated_metrics(
+        trace, names=["rabbitmq.queue_depth"])
+    samples = [sample for series in correlated.values()
+               for sample in series.get("rabbitmq.queue_depth", [])]
+    if samples:
+        peak_time, peak = max(samples, key=lambda item: item[1])
+        print(f"correlated rabbitmq.queue_depth: peak {peak:.0f} "
+              f"(capacity {broker.queue_capacity}) at t={peak_time:.2f}s")
+    print("\nautomated diagnosis:")
+    print(diagnose(trace, cluster=cluster).describe())
+    print("\npaper: root cause (queue backlog causing TCP resets) found "
+          "in one minute, vs six hours with separate tools.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a Python reproduction of DeepFlow (SIGCOMM 2023).
+
+Network-centric, zero-code distributed tracing: eBPF-style syscall
+instrumentation, implicit context propagation, and tag-based correlation,
+rebuilt on a deterministic simulated substrate.
+
+The most common entry points are re-exported here; see README.md for the
+full tour and DESIGN.md for the substitution map against the paper.
+"""
+
+from repro.agent.agent import AgentConfig, DeepFlowAgent
+from repro.core.span import Span, SpanKind, SpanSide, Trace
+from repro.network.topology import Cluster, ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgentConfig",
+    "Cluster",
+    "ClusterBuilder",
+    "DeepFlowAgent",
+    "DeepFlowServer",
+    "Network",
+    "Simulator",
+    "Span",
+    "SpanKind",
+    "SpanSide",
+    "Trace",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""The DeepFlow Agent (§3.1, left half of Figure 4).
+
+One agent is deployed per host.  It owns:
+
+* the eBPF programs attached to the ten Table 3 ABIs plus the coroutine
+  and uprobe extension hooks (:mod:`repro.agent.collector`);
+* the user-space pipeline that turns raw syscall records into spans —
+  message production, protocol inference, session aggregation
+  (:mod:`repro.agent.sessions`), and implicit-context association
+  (:mod:`repro.agent.association`);
+* the cBPF/AF_PACKET flow-log builder that turns device capture records
+  into network spans (:mod:`repro.agent.flowlog`);
+* shipping spans, flow metrics, and resource tags to the server.
+"""
+
+from repro.agent.agent import AgentConfig, DeepFlowAgent
+from repro.agent.association import AssociationTracker
+from repro.agent.flowlog import FlowSpanBuilder
+from repro.agent.sessions import Session, SessionAggregator, TimeWindowArray
+
+__all__ = [
+    "AgentConfig",
+    "AssociationTracker",
+    "DeepFlowAgent",
+    "FlowSpanBuilder",
+    "Session",
+    "SessionAggregator",
+    "TimeWindowArray",
+]

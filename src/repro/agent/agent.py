@@ -1,0 +1,480 @@
+"""The DeepFlow Agent: hook deployment + user-space span pipeline.
+
+Deployment (§3.2.2, Figure 5) is *in zero code*: the agent attaches eBPF
+programs to the pre-defined syscall hooks of the host kernel — no
+modification, recompilation, or redeployment of the monitored components.
+
+The kernel-side programs do the (pid, tid) enter/exit merge (the kernel
+"can simultaneously handle only one selected system call for a given
+(Process_ID, Thread_ID)", §3.3.1) and enqueue merged records into a perf
+buffer.  The user-space pipeline then runs Figure 6's three phases —
+message production, protocol inference / message typing, and session
+aggregation — plus implicit-context association, and ships finished spans
+to the server.
+
+Two deployment modes reproduce Appendix B's measurement points:
+``mode="ebpf"`` attaches only the kernel tracing programs; ``mode="full"``
+additionally enables the in-kernel preliminary parser / flow-tracking
+logic, which costs a few hundred extra instructions per hook firing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.agent.association import AssociationTracker
+from repro.agent.flowlog import FlowSpanBuilder
+from repro.agent.sessions import Message, Session, SessionAggregator
+from repro.core.ids import IdAllocator
+from repro.core.span import Span, SpanKind, SpanSide
+from repro.kernel.ebpf import BPFProgram, PerfBuffer
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import (
+    ALL_ABIS,
+    CoroutineEvent,
+    Direction,
+    SocketCloseEvent,
+    SyscallContext,
+    SyscallRecord,
+    UserProbeRecord,
+)
+from repro.network.topology import Device, Node
+from repro.protocols.base import MessageType, ProtocolSpec
+from repro.protocols.inference import ProtocolInferenceEngine
+
+
+@dataclass
+class AgentConfig:
+    """Tunables for one agent instance."""
+
+    slot_duration: float = 60.0
+    perf_buffer_capacity: int = 65536
+    #: BPF instructions per tracing program (drives the Fig 13 latency).
+    trace_instructions: int = 500
+    #: Extra instructions for the in-kernel preliminary parser in "full"
+    #: mode (Appendix B's Agent-vs-eBPF gap).
+    parser_instructions: int = 350
+    #: System-level per-syscall cost (perf submission, payload copy,
+    #: cache pressure), charged on the exit hook.  Calibrated so the
+    #: Appendix B macro-level throughput drop reproduces; see ebpf.py.
+    system_tax_ebpf_ns: float = 37_000.0
+    system_tax_full_ns: float = 56_000.0
+    #: Extra protocol specs supplied by the user (§3.3.1).
+    user_specs: tuple[ProtocolSpec, ...] = ()
+    #: Ablation switch: when False, coroutines are not mapped onto
+    #: pseudo-threads and association falls back to raw thread ids
+    #: (benchmarks/test_ablations.py quantifies the damage).
+    use_coroutine_pthreads: bool = True
+
+
+class DeepFlowAgent:
+    """One agent per host (container node / VM / physical machine)."""
+
+    def __init__(self, kernel: Kernel, agent_index: int,
+                 server=None, node: Optional[Node] = None,
+                 config: Optional[AgentConfig] = None):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.server = server
+        self.node = node
+        self.config = config or AgentConfig()
+        self.ids = IdAllocator(agent_index)
+        self.host = kernel.host_name
+        self.tracker = AssociationTracker(self.ids, self.host)
+        self.aggregator = SessionAggregator(self.config.slot_duration)
+        self.engine = ProtocolInferenceEngine(
+            user_specs=self.config.user_specs)
+        self._plaintext_engine = ProtocolInferenceEngine(
+            user_specs=self.config.user_specs)
+        self.flow_builder = FlowSpanBuilder(self.ids, self.host)
+        self.perf = PerfBuffer(self.sim,
+                               capacity=self.config.perf_buffer_capacity,
+                               name=f"perf:{self.host}")
+        self._enter_map: dict[tuple[int, int], SyscallContext] = {}
+        self._plaintext: dict[tuple, UserProbeRecord] = {}
+        self._pending_opaque: dict[tuple, SyscallRecord] = {}
+        self._open_messages: dict[tuple, Message] = {}
+        self._programs: list[tuple[str, BPFProgram]] = []
+        self.pending_spans: list[Span] = []
+        self.deployed = False
+        self.mode = "full"
+        #: Pipeline statistics: observability of the observability tool.
+        self.stats = {
+            "events_processed": 0,
+            "syscall_records": 0,
+            "coroutine_events": 0,
+            "uprobe_records": 0,
+            "close_events": 0,
+            "continuations_merged": 0,
+            "spans_emitted": 0,
+            "spans_shipped": 0,
+        }
+        self._ip_tags: dict[str, dict[str, str]] = {}
+        self._poller = None
+
+    # -- deployment (zero code, in-flight) ---------------------------------
+
+    def deploy(self, mode: str = "full") -> None:
+        """Attach the eBPF programs to the host kernel's hooks."""
+        if self.deployed:
+            raise RuntimeError(f"agent on {self.host} already deployed")
+        if mode not in ("ebpf", "full"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        instructions = self.config.trace_instructions
+        tax_ns = self.config.system_tax_ebpf_ns
+        if mode == "full":
+            instructions += self.config.parser_instructions
+            tax_ns = self.config.system_tax_full_ns
+        for abi in ALL_ABIS:
+            enter = BPFProgram(f"df_enter_{abi}", self._on_enter,
+                               instructions=instructions)
+            exit_ = BPFProgram(f"df_exit_{abi}", self._on_exit,
+                               instructions=instructions,
+                               system_tax_ns=tax_ns)
+            self.kernel.hooks.attach(f"sys_enter_{abi}", enter)
+            self.kernel.hooks.attach(f"sys_exit_{abi}", exit_)
+            self._programs.append((f"sys_enter_{abi}", enter))
+            self._programs.append((f"sys_exit_{abi}", exit_))
+        coroutine_program = BPFProgram("df_coroutine", self._on_coroutine,
+                                       instructions=120)
+        self.kernel.hooks.attach("coroutine_create", coroutine_program)
+        self._programs.append(("coroutine_create", coroutine_program))
+        close_program = BPFProgram("df_socket_close", self._on_close,
+                                   instructions=80)
+        self.kernel.hooks.attach("socket_close", close_program)
+        self._programs.append(("socket_close", close_program))
+        self.deployed = True
+        self._collect_node_tags()
+
+    def undeploy(self) -> None:
+        """Detach every program (in-flight, like attaching)."""
+        for hook_name, program in self._programs:
+            self.kernel.hooks.detach(hook_name, program)
+        self._programs.clear()
+        self.deployed = False
+
+    def attach_uprobe(self, process_name: str, function: str) -> None:
+        """Instrumentation extension: intercept a user-space function
+        (e.g. ssl_write) to recover pre-TLS plaintext (§3.2.1)."""
+        for hook in (f"uprobe:{process_name}:{function}",
+                     f"uretprobe:{process_name}:{function}"):
+            program = BPFProgram(f"df_{function}", self._on_uprobe,
+                                 instructions=300)
+            self.kernel.hooks.attach(hook, program)
+            self._programs.append((hook, program))
+
+    def enable_capture(self, device: Device) -> None:
+        """Tap a network device (cBPF/AF_PACKET integration)."""
+        device.capture_callbacks.append(self._on_packet)
+
+    def _collect_node_tags(self) -> None:
+        """Tag collection phase ①/② of Figure 8: push K8s tags upward."""
+        if self.node is None:
+            return
+        for pod in self.node.pods:
+            tags = pod.tags()
+            self._ip_tags[pod.ip] = tags
+            if self.server is not None:
+                self.server.register_resource_tags(
+                    tags.get("vpc", ""), pod.ip, tags)
+        node_tags = {"node": self.node.name, **self.node.cloud_tags()}
+        self._ip_tags[self.node.ip] = node_tags
+        if self.server is not None:
+            self.server.register_resource_tags(
+                self.node.vpc, self.node.ip, node_tags)
+
+    # -- kernel-side program bodies ---------------------------------------
+
+    def _on_enter(self, ctx: SyscallContext) -> None:
+        # The kernel handles one instrumented syscall per (pid, tid) at a
+        # time (§3.3.1); coroutine runtimes park blocked calls per
+        # coroutine, so the pseudo-thread id extends the key ("DeepFlow
+        # monitors the creation of coroutines ... and performs similar
+        # operations").
+        self._enter_map[(ctx.pid, ctx.tid, ctx.coroutine_id)] = ctx
+
+    def _on_exit(self, ctx: SyscallContext) -> None:
+        enter = self._enter_map.pop((ctx.pid, ctx.tid, ctx.coroutine_id),
+                                    None)
+        if enter is None:
+            return  # exit without observed enter (attach raced a syscall)
+        payload = ctx.payload or enter.payload
+        record = SyscallRecord(
+            pid=ctx.pid, tid=ctx.tid, coroutine_id=ctx.coroutine_id,
+            process_name=ctx.process_name, socket_id=ctx.socket_id,
+            five_tuple=ctx.five_tuple,
+            tcp_seq=ctx.tcp_seq or enter.tcp_seq,
+            enter_time=enter.timestamp, exit_time=ctx.timestamp,
+            direction=ctx.direction, abi=ctx.abi,
+            byte_len=ctx.byte_len or enter.byte_len,
+            payload=payload, ret=ctx.ret, host_name=ctx.host_name)
+        self.perf.submit(record)
+
+    def _on_coroutine(self, event: CoroutineEvent) -> None:
+        self.perf.submit(event)
+
+    def _on_close(self, event: SocketCloseEvent) -> None:
+        self.perf.submit(event)
+
+    def _on_uprobe(self, record: UserProbeRecord) -> None:
+        self.perf.submit(record)
+
+    def _on_packet(self, record) -> None:
+        span = self.flow_builder.feed(record)
+        if span is not None:
+            self.stats["spans_emitted"] += 1
+            self._finalize_span(span)
+
+    # -- user-space pipeline -------------------------------------------------
+
+    def poll(self) -> int:
+        """Drain the perf buffer and run the pipeline; returns event count."""
+        events = self.perf.drain()
+        for event in events:
+            self._process_event(event)
+        return len(events)
+
+    def start_polling(self, interval: float = 0.01):
+        """Run the user-space drain loop as a background process."""
+
+        def loop() -> Generator:
+            """Background loop body."""
+            while True:
+                yield interval
+                self.poll()
+                self.ship()
+
+        self._poller = self.sim.spawn(loop(), name=f"agent:{self.host}")
+        return self._poller
+
+    def stop_polling(self) -> None:
+        """Stop the background drain loop."""
+        if self._poller is not None:
+            self._poller.kill()
+            self._poller = None
+
+    def _process_event(self, event) -> None:
+        self.stats["events_processed"] += 1
+        if isinstance(event, CoroutineEvent):
+            self.stats["coroutine_events"] += 1
+            self.tracker.on_coroutine_event(event)
+        elif isinstance(event, UserProbeRecord):
+            self.stats["uprobe_records"] += 1
+            self._process_uprobe_record(event)
+        elif isinstance(event, SocketCloseEvent):
+            # Requests still open on a closed socket died unanswered.
+            self.stats["close_events"] += 1
+            for session in self.aggregator.close_socket(
+                    event.socket_id, error="no-response"):
+                self._emit_session(session)
+        elif isinstance(event, SyscallRecord):
+            self.stats["syscall_records"] += 1
+            self._process_syscall_record(event)
+
+    def _process_uprobe_record(self, event: UserProbeRecord) -> None:
+        """Fuse uprobe plaintext with its syscall twin, either order.
+
+        ``SSL_write(plaintext)`` runs *before* the write syscall carrying
+        the ciphertext — stash the plaintext for the upcoming syscall.
+        ``SSL_read(plaintext)`` runs *after* the read syscall — fuse with
+        the opaque record that syscall already produced.
+        """
+        key = (event.pid, event.tid, event.socket_id, event.direction)
+        pending = self._pending_opaque.pop(key, None)
+        if pending is not None:
+            parsed = self._plaintext_engine.parse(pending.socket_id,
+                                                  event.payload)
+            if parsed is not None and parsed.msg_type is not \
+                    MessageType.UNKNOWN:
+                self._ingest_message(pending, parsed, via_uprobe=True)
+                return
+        self._plaintext[key] = event
+
+    def _process_syscall_record(self, record: SyscallRecord) -> None:
+        if record.ret < 0 or (record.byte_len == 0 and record.ret == 0):
+            # Reset (ret<0) or EOF: requests still open on the socket die
+            # unanswered, and the pseudo-thread's client exchange — if
+            # any — is over (the next request starts a new causal unit).
+            error = "reset" if record.ret < 0 else "no-response"
+            for session in self.aggregator.close_socket(record.socket_id,
+                                                        error=error):
+                self._emit_session(session)
+            pthread = self.tracker.pthread_key(record.pid, record.tid,
+                                               record.coroutine_id)
+            self.tracker.note_exchange_aborted(pthread)
+            return
+        via_uprobe = False
+        parsed = self.engine.parse(record.socket_id, record.payload)
+        if parsed is None or parsed.msg_type is MessageType.UNKNOWN:
+            stash_key = (record.pid, record.tid, record.socket_id,
+                         record.direction)
+            stash = self._plaintext.pop(stash_key, None)
+            if stash is not None:
+                # Same thread, same socket, same direction, adjacent in
+                # time: the uprobe plaintext is this syscall's payload
+                # before encryption.
+                parsed = self._plaintext_engine.parse(record.socket_id,
+                                                      stash.payload)
+                via_uprobe = parsed is not None
+            if parsed is None or parsed.msg_type is MessageType.UNKNOWN:
+                open_message = self._open_messages.get(
+                    (record.socket_id, record.direction))
+                if open_message is not None:
+                    # §3.3.1: only the first syscall of a message is
+                    # processed; later ones extend it.
+                    self.stats["continuations_merged"] += 1
+                    open_message.absorb_continuation(record)
+                else:
+                    # Opaque message: keep it around in case a uprobe
+                    # delivers its plaintext right after (SSL_read order).
+                    self._pending_opaque[stash_key] = record
+                return
+        self._ingest_message(record, parsed, via_uprobe=via_uprobe)
+
+    def _ingest_message(self, record: SyscallRecord, parsed,
+                        via_uprobe: bool) -> None:
+        message = Message(record=record, parsed=parsed,
+                          via_uprobe=via_uprobe)
+        self._open_messages[(record.socket_id, record.direction)] = message
+        coroutine_id = (record.coroutine_id
+                        if self.config.use_coroutine_pthreads else None)
+        pthread = self.tracker.pthread_key(record.pid, record.tid,
+                                           coroutine_id)
+        message.systrace_id = self.tracker.assign_systrace(
+            pthread, parsed.msg_type, record.direction)
+        # Generation-scoped pseudo-thread key: matches within one request's
+        # lifetime on the thread, not across thread reuse.
+        message.pthread_key = pthread + (self.tracker.generation(pthread),)
+        for session in self.aggregator.add(message):
+            self._emit_session(session)
+
+    def flush(self, expire: bool = False) -> None:
+        """Synchronous pipeline flush (tests and benchmarks)."""
+        self.poll()
+        if expire:
+            for session in self.aggregator.flush_expired(self.sim.now):
+                self._emit_session(session)
+        self.ship()
+
+    # -- span construction ----------------------------------------------
+
+    def _emit_session(self, session: Session) -> None:
+        span = self._build_span(session)
+        if span is not None:
+            self.stats["spans_emitted"] += 1
+            self._finalize_span(span)
+
+    def _build_span(self, session: Session) -> Optional[Span]:
+        request, response = session.request, session.response
+        base = request or response
+        if base is None:
+            return None
+        record = base.record
+        if request is not None:
+            side = (SpanSide.SERVER
+                    if request.record.direction is Direction.INGRESS
+                    else SpanSide.CLIENT)
+        else:
+            side = (SpanSide.SERVER
+                    if response.record.direction is Direction.EGRESS
+                    else SpanSide.CLIENT)
+        start = request.time if request else response.time
+        end = response.end_time if response else request.end_time
+        parsed_req = request.parsed if request else None
+        parsed_resp = response.parsed if response else None
+        status = session.error and "error" or (
+            parsed_resp.status if parsed_resp else "")
+        span = Span(
+            span_id=self.ids.next_id(),
+            kind=SpanKind.UPROBE if base.via_uprobe else SpanKind.SYSCALL,
+            side=side,
+            start_time=start,
+            end_time=max(start, end),
+            host=record.host_name,
+            process_name=record.process_name,
+            pid=record.pid,
+            tid=record.tid,
+            coroutine_id=record.coroutine_id,
+            protocol=base.parsed.protocol,
+            operation=(parsed_req.operation if parsed_req
+                       else parsed_resp.operation),
+            resource=parsed_req.resource if parsed_req else "",
+            status=status,
+            status_code=parsed_resp.status_code if parsed_resp else None,
+            request_bytes=request.total_bytes if request else 0,
+            response_bytes=response.total_bytes if response else 0,
+            systrace_id=base.systrace_id,
+            pseudo_thread_key=(record.host_name,) + tuple(
+                base.pthread_key or ()),
+            x_request_id=(parsed_req.x_request_id if parsed_req else None)
+            or (parsed_resp.x_request_id if parsed_resp else None),
+            flow_key=record.five_tuple.canonical(),
+            req_tcp_seq=request.record.tcp_seq if request else None,
+            resp_tcp_seq=response.record.tcp_seq if response else None,
+            otel_trace_id=self._trace_id_of(parsed_req),
+            socket_id=record.socket_id,
+            message_id=(parsed_req.stream_id if parsed_req
+                        else parsed_resp.stream_id),
+        )
+        if session.error:
+            span.tags["error.kind"] = session.error
+        return span
+
+    @staticmethod
+    def _trace_id_of(parsed) -> Optional[str]:
+        if parsed is None:
+            return None
+        traceparent = parsed.traceparent
+        if traceparent:
+            parts = traceparent.split("-")
+            if len(parts) >= 3:
+                return parts[1]
+        b3 = parsed.b3
+        if b3:
+            return b3.split("-")[0]
+        return None
+
+    def _finalize_span(self, span: Span) -> None:
+        """Stamp smart-encoding tags and flow metrics, queue for shipping."""
+        local_ip = self._span_local_ip(span)
+        if local_ip is not None:
+            tags = self._ip_tags.get(local_ip)
+            vpc = tags.get("vpc", "") if tags else ""
+            # Smart-encoding phase ④–⑥: the agent injects only VPC + IP.
+            span.tags.setdefault("vpc", vpc)
+            span.tags.setdefault("ip", local_ip)
+        network = self.kernel.network
+        if network is not None and span.flow_key is not None:
+            five_tuple = self._five_tuple_of(span)
+            if five_tuple is not None:
+                metrics = network.metrics_for(five_tuple)
+                if metrics is not None:
+                    span.metrics.update(metrics.as_tags())
+        self.pending_spans.append(span)
+
+    def _span_local_ip(self, span: Span) -> Optional[str]:
+        if span.kind is SpanKind.NETWORK:
+            return None
+        five_tuple = self._five_tuple_of(span)
+        if five_tuple is None:
+            return None
+        # A socket's five-tuple is local-oriented: src is always this host.
+        return five_tuple.src_ip
+
+    def _five_tuple_of(self, span: Span):
+        if span.socket_id is not None:
+            sock = self.kernel.sockets.get(span.socket_id)
+            if sock is not None:
+                return sock.five_tuple
+        return None
+
+    def ship(self) -> int:
+        """Transmit finished spans to the server (or hold them locally)."""
+        if self.server is None or not self.pending_spans:
+            return 0
+        spans, self.pending_spans = self.pending_spans, []
+        self.server.ingest_spans(spans)
+        self.stats["spans_shipped"] += len(spans)
+        return len(spans)

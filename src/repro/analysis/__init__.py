@@ -1,0 +1,31 @@
+"""Root-cause analysis helpers and the fault-injection campaign.
+
+The case-study examples (§4.1) and the Figure 2 empirical check both sit
+on this package: :mod:`repro.analysis.rootcause` turns an assembled trace
+plus correlated metrics into a located root cause, and
+:mod:`repro.analysis.campaign` injects faults from every Figure 2
+category and verifies the located causes match the injected ones.
+"""
+
+from repro.analysis.campaign import CampaignResult, FaultCampaign
+from repro.analysis.report import IncidentReport, build_report
+from repro.analysis.rootcause import (
+    Diagnosis,
+    deepest_error_span,
+    diagnose,
+    rank_devices_by_arp,
+)
+from repro.analysis.watchdog import Alert, AnomalyWatchdog
+
+__all__ = [
+    "Alert",
+    "AnomalyWatchdog",
+    "CampaignResult",
+    "Diagnosis",
+    "FaultCampaign",
+    "IncidentReport",
+    "build_report",
+    "deepest_error_span",
+    "diagnose",
+    "rank_devices_by_arp",
+]

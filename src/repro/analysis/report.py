@@ -1,0 +1,88 @@
+"""Incident report generation.
+
+Bundles one troubleshooting pass — the anomalous trace, the automated
+diagnosis, correlated metrics, and the evidence chain — into a single
+plain-text incident report, the artifact an operator would paste into a
+postmortem.  Everything in it derives from zero-code data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.rootcause import Diagnosis, deepest_error_span, diagnose
+from repro.core.span import Trace
+from repro.network.topology import Cluster
+
+
+@dataclass
+class IncidentReport:
+    """A rendered incident report plus its structured ingredients."""
+
+    trace: Trace
+    diagnosis: Diagnosis
+    correlated_metrics: dict = field(default_factory=dict)
+    title: str = ""
+
+    def render(self) -> str:
+        """Render the report as plain text."""
+        lines = []
+        title = self.title or "Incident report"
+        lines.append(title)
+        lines.append("=" * len(title))
+        lines.append("")
+        lines.append(f"Trace: {len(self.trace)} spans, "
+                     f"{self.trace.duration * 1000:.2f} ms end to end, "
+                     f"{len(self.trace.errors())} error span(s)")
+        lines.append("")
+        lines.append("Diagnosis")
+        lines.append("---------")
+        lines.append(self.diagnosis.describe())
+        deepest = deepest_error_span(self.trace)
+        if deepest is not None:
+            lines.append("")
+            lines.append("Deepest failing span")
+            lines.append("--------------------")
+            lines.append(f"  {deepest.summary()}")
+            for key in ("pod", "node", "region", "az"):
+                if key in deepest.tags:
+                    lines.append(f"  {key}: {deepest.tags[key]}")
+            anomalous = {key: value
+                         for key, value in deepest.metrics.items()
+                         if value > 0}
+            if anomalous:
+                lines.append("  network metrics: "
+                             + ", ".join(f"{key}={value:g}"
+                                         for key, value in
+                                         sorted(anomalous.items())))
+        if self.correlated_metrics:
+            lines.append("")
+            lines.append("Correlated metrics")
+            lines.append("------------------")
+            for span_id, series_map in sorted(
+                    self.correlated_metrics.items()):
+                for name, samples in sorted(series_map.items()):
+                    if not samples:
+                        continue
+                    peak_time, peak = max(samples,
+                                          key=lambda item: item[1])
+                    lines.append(f"  {name}: peak {peak:g} at "
+                                 f"t={peak_time:.2f}s "
+                                 f"(span {span_id})")
+        lines.append("")
+        lines.append("Trace")
+        lines.append("-----")
+        lines.append(self.trace.to_text())
+        return "\n".join(lines)
+
+
+def build_report(server, trace: Trace,
+                 cluster: Optional[Cluster] = None,
+                 metric_names: Optional[list[str]] = None,
+                 title: str = "") -> IncidentReport:
+    """Assemble an :class:`IncidentReport` for one trace."""
+    result = diagnose(trace, cluster=cluster)
+    correlated = server.correlated_metrics(trace, names=metric_names)
+    return IncidentReport(trace=trace, diagnosis=result,
+                          correlated_metrics=correlated, title=title)

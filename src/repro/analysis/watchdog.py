@@ -1,0 +1,140 @@
+"""Continuous anomaly detection over the span stream.
+
+The paper's production workflow starts with a human noticing a problem;
+this module closes the loop: a watchdog periodically scans recent spans
+for error bursts and latency regressions per service, emitting alerts
+that carry the span an operator (or :func:`repro.analysis.diagnose`)
+would start from.  It turns "rapid problem location" into a push model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.span import Span, SpanSide
+
+
+@dataclass
+class Alert:
+    """One detected anomaly."""
+
+    kind: str                 # "error-burst" | "latency-regression"
+    service: str              # process name
+    window_start: float
+    window_end: float
+    value: float              # error rate, or latency ratio vs baseline
+    threshold: float
+    exemplar_span_id: Optional[int] = None
+
+    def describe(self) -> str:
+        """One-paragraph human-readable description."""
+        if self.kind == "error-burst":
+            detail = f"error rate {self.value:.0%} >= {self.threshold:.0%}"
+        else:
+            detail = (f"p50 latency {self.value:.1f}x baseline "
+                      f"(threshold {self.threshold:.1f}x)")
+        return (f"[{self.kind}] {self.service} "
+                f"@{self.window_start:.2f}-{self.window_end:.2f}s: "
+                f"{detail}")
+
+
+@dataclass
+class _ServiceBaseline:
+    samples: list = field(default_factory=list)
+
+    def median(self) -> Optional[float]:
+        """Median of collected samples (None below min count)."""
+        if len(self.samples) < 5:
+            return None
+        ordered = sorted(self.samples)
+        return ordered[len(ordered) // 2]
+
+    def extend_capped(self, values: list, cap: int = 500) -> None:
+        """Append samples, keeping at most *cap*."""
+        self.samples.extend(values)
+        if len(self.samples) > cap:
+            self.samples = self.samples[-cap:]
+
+
+class AnomalyWatchdog:
+    """Windowed scanner over a DeepFlow server's span store."""
+
+    def __init__(self, server, *, window: float = 0.5,
+                 error_rate_threshold: float = 0.2,
+                 latency_ratio_threshold: float = 3.0,
+                 min_samples: int = 5):
+        self.server = server
+        self.window = window
+        self.error_rate_threshold = error_rate_threshold
+        self.latency_ratio_threshold = latency_ratio_threshold
+        self.min_samples = min_samples
+        self.alerts: list[Alert] = []
+        self._baselines: dict[str, _ServiceBaseline] = {}
+        self._scanned_until = 0.0
+
+    def scan(self, now: float) -> list[Alert]:
+        """Scan complete windows in (scanned_until, now]; returns new
+        alerts (also appended to :attr:`alerts`)."""
+        new_alerts: list[Alert] = []
+        while self._scanned_until + self.window <= now:
+            start = self._scanned_until
+            end = start + self.window
+            new_alerts.extend(self._scan_window(start, end))
+            self._scanned_until = end
+        self.alerts.extend(new_alerts)
+        return new_alerts
+
+    def _scan_window(self, start: float, end: float) -> list[Alert]:
+        spans = [span for span in self.server.span_list(start, end)
+                 if span.side is SpanSide.SERVER]
+        by_service: dict[str, list[Span]] = {}
+        for span in spans:
+            by_service.setdefault(span.process_name, []).append(span)
+        alerts: list[Alert] = []
+        for service, service_spans in sorted(by_service.items()):
+            if len(service_spans) < self.min_samples:
+                continue
+            errors = [span for span in service_spans if span.is_error]
+            error_rate = len(errors) / len(service_spans)
+            if error_rate >= self.error_rate_threshold:
+                alerts.append(Alert(
+                    kind="error-burst", service=service,
+                    window_start=start, window_end=end,
+                    value=error_rate,
+                    threshold=self.error_rate_threshold,
+                    exemplar_span_id=errors[-1].span_id))
+            durations = sorted(span.duration for span in service_spans)
+            p50 = durations[len(durations) // 2]
+            baseline = self._baselines.get(service)
+            if baseline is None:
+                baseline = _ServiceBaseline()
+                self._baselines[service] = baseline
+            reference = baseline.median()
+            if (reference is not None and reference > 0
+                    and p50 / reference >= self.latency_ratio_threshold):
+                slowest = max(service_spans,
+                              key=lambda span: span.duration)
+                alerts.append(Alert(
+                    kind="latency-regression", service=service,
+                    window_start=start, window_end=end,
+                    value=p50 / reference,
+                    threshold=self.latency_ratio_threshold,
+                    exemplar_span_id=slowest.span_id))
+            else:
+                # Only healthy windows feed the baseline, so a sustained
+                # regression keeps alerting instead of normalizing.
+                baseline.extend_capped(durations)
+        return alerts
+
+    def run(self, sim, interval: Optional[float] = None):
+        """Spawn a background scanning loop on the simulator."""
+        period = interval if interval is not None else self.window
+
+        def loop() -> Generator:
+            """Background loop body."""
+            while True:
+                yield period
+                self.scan(sim.now)
+
+        return sim.spawn(loop(), name="watchdog")

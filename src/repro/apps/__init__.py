@@ -1,0 +1,52 @@
+"""Microservice workload applications.
+
+These are the monitored systems: genuine multi-component applications that
+move real protocol bytes over the simulated kernel's sockets.  None of
+them know anything about DeepFlow — the zero-code property is structural:
+the agent observes them purely through syscall hooks.
+
+* :mod:`repro.apps.runtime` — the component runtime (thread-pool or
+  coroutine workers, connection pooling, request dispatch);
+* :mod:`repro.apps.proxy` — Nginx-like reverse proxy / ingress and an
+  Envoy-like sidecar (both inject ``X-Request-ID``);
+* :mod:`repro.apps.services` — DNS, Redis, and MySQL backends;
+* :mod:`repro.apps.rabbitmq` — AMQP broker with bounded queues (the
+  §4.1.3 backlog case);
+* :mod:`repro.apps.loadgen` — wrk2-style constant-throughput generator;
+* :mod:`repro.apps.bookinfo` / :mod:`repro.apps.springboot` — the two
+  end-to-end demo applications of §5.4.
+"""
+
+from repro.apps.extra_services import (
+    DubboService,
+    GrpcService,
+    Http2Service,
+    KafkaService,
+    MqttBroker,
+)
+from repro.apps.loadgen import LoadGenerator, LoadReport
+from repro.apps.proxy import EnvoySidecar, NginxProxy
+from repro.apps.rabbitmq import ConsumerService, RabbitMQBroker
+from repro.apps.runtime import Component, HttpService, Request, Response
+from repro.apps.services import DnsService, MysqlService, RedisService
+
+__all__ = [
+    "Component",
+    "ConsumerService",
+    "DnsService",
+    "DubboService",
+    "EnvoySidecar",
+    "GrpcService",
+    "Http2Service",
+    "HttpService",
+    "KafkaService",
+    "LoadGenerator",
+    "LoadReport",
+    "MqttBroker",
+    "MysqlService",
+    "NginxProxy",
+    "RabbitMQBroker",
+    "RedisService",
+    "Request",
+    "Response",
+]

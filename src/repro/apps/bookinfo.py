@@ -1,0 +1,150 @@
+"""The Istio Bookinfo application (§5.4, Figure 16(b)).
+
+The canonical service-mesh demo [61], with an Envoy-like sidecar in front
+of every application container (this is what makes its traces deep):
+
+    loadgen → ingress → [sidecar → productpage]
+                           ├→ [sidecar → details]
+                           └→ [sidecar → reviews] → [sidecar → ratings]
+
+The Zipkin comparison of Figure 16(b) attaches a Zipkin-like tracer to
+the application services (sidecars and ratings-v1 stay untraced — exactly
+the blind spots intrusive tracing leaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.proxy import EnvoySidecar, NginxProxy
+from repro.apps.runtime import HttpService, Response
+from repro.network.topology import Cluster, ClusterBuilder, Pod
+from repro.network.transport import Network
+from repro.sim.engine import Simulator
+
+#: Sidecar listen port on every pod; the app container listens on 9080.
+SIDECAR_PORT = 15001
+APP_PORT = 9080
+
+
+@dataclass
+class BookinfoApp:
+    """Handle to the deployed application."""
+
+    sim: Simulator
+    cluster: Cluster
+    network: Network
+    pods: dict[str, Pod]
+    components: dict[str, object]
+    entry_ip: str = ""
+    entry_port: int = 8080
+
+    def stop(self) -> None:
+        """Stop all components of this deployment."""
+        for component in self.components.values():
+            component.stop()
+
+
+def build(sim: Simulator | None = None, *, tracer=None,
+          reviews_runtime: str = "coroutines",
+          node_count: int = 3) -> BookinfoApp:
+    """Deploy Bookinfo on a fresh three-node cluster."""
+    sim = sim or Simulator(seed=23)
+    builder = ClusterBuilder(node_count=node_count)
+    pods = {
+        "loadgen": builder.add_pod(0, "loadgen-pod",
+                                   labels={"app": "loadgen"}),
+        "ingress": builder.add_pod(0, "ingress-pod",
+                                   labels={"app": "istio-ingress"}),
+        "productpage": builder.add_pod(
+            1, "productpage-v1", labels={"app": "productpage",
+                                         "version": "v1"}),
+        "details": builder.add_pod(2, "details-v1",
+                                   labels={"app": "details",
+                                           "version": "v1"}),
+        "reviews": builder.add_pod(1, "reviews-v2",
+                                   labels={"app": "reviews",
+                                           "version": "v2"}),
+        "ratings": builder.add_pod(2, "ratings-v1",
+                                   labels={"app": "ratings",
+                                           "version": "v1"}),
+    }
+    cluster = builder.build()
+    network = Network(sim, cluster)
+    components: dict[str, object] = {}
+
+    def with_sidecar(key: str, service: HttpService) -> None:
+        """Register the service plus its Envoy sidecar."""
+        sidecar = EnvoySidecar(f"{key}-sidecar", pods[key].node,
+                               SIDECAR_PORT, app_ip=pods[key].ip,
+                               app_port=APP_PORT, pod=pods[key])
+        components[service.name] = service
+        components[sidecar.name] = sidecar
+
+    ratings = HttpService("ratings", pods["ratings"].node, APP_PORT,
+                          pod=pods["ratings"], service_time=0.002)
+
+    @ratings.route("/ratings")
+    def get_ratings(worker, request):
+        """Ratings handler."""
+        yield from worker.work(0.0002)
+        return Response(200, body=b'{"stars": 5}')
+
+    with_sidecar("ratings", ratings)
+
+    reviews = HttpService("reviews", pods["reviews"].node, APP_PORT,
+                          pod=pods["reviews"], tracer=tracer,
+                          runtime=reviews_runtime, service_time=0.006)
+
+    @reviews.route("/reviews")
+    def get_reviews(worker, request):
+        """Reviews handler (calls ratings)."""
+        upstream = yield from reviews.call_downstream(
+            worker, pods["ratings"].ip, SIDECAR_PORT, "GET", "/ratings/1")
+        status = 200 if upstream.status_code < 400 else 502
+        return Response(status,
+                        body=b'{"reviews": ["good", "great"], "stars": 5}')
+
+    with_sidecar("reviews", reviews)
+
+    details = HttpService("details", pods["details"].node, APP_PORT,
+                          pod=pods["details"], tracer=tracer,
+                          service_time=0.003)
+
+    @details.route("/details")
+    def get_details(worker, request):
+        """Details handler."""
+        yield from worker.work(0.0001)
+        return Response(200, body=b'{"author": "Shakespeare"}')
+
+    with_sidecar("details", details)
+
+    productpage = HttpService("productpage", pods["productpage"].node,
+                              APP_PORT, pod=pods["productpage"],
+                              tracer=tracer, service_time=0.008)
+
+    @productpage.route("/productpage")
+    def get_productpage(worker, request):
+        """Productpage handler (calls details and reviews)."""
+        details_reply = yield from productpage.call_downstream(
+            worker, pods["details"].ip, SIDECAR_PORT, "GET", "/details/0")
+        reviews_reply = yield from productpage.call_downstream(
+            worker, pods["reviews"].ip, SIDECAR_PORT, "GET", "/reviews/0")
+        ok = (details_reply.status_code < 400
+              and reviews_reply.status_code < 400)
+        return Response(200 if ok else 502,
+                        body=b"<html>bookinfo</html>")
+
+    with_sidecar("productpage", productpage)
+
+    ingress = NginxProxy("istio-ingress", pods["ingress"].node, 8080,
+                         pod=pods["ingress"])
+    ingress.add_route("/productpage",
+                      [(pods["productpage"].ip, SIDECAR_PORT)])
+    components["istio-ingress"] = ingress
+
+    for component in components.values():
+        component.start()
+    return BookinfoApp(sim=sim, cluster=cluster, network=network,
+                       pods=pods, components=components,
+                       entry_ip=pods["ingress"].ip, entry_port=8080)

@@ -1,0 +1,178 @@
+"""wrk2-style constant-throughput load generator.
+
+Like wrk2 [133], requests are scheduled on a fixed cadence *independently
+of completions*, and latency is measured from the scheduled start time —
+correcting for coordinated omission, so a stalling server inflates the
+recorded latency instead of silently thinning the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.apps.runtime import (
+    decode_http_response,
+    http_message_complete,
+)
+from repro.network.topology import Node, Pod
+from repro.protocols import http1
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    offered_rate: float
+    duration: float
+    sent: int = 0
+    completed: int = 0
+    errors: int = 0
+    #: Wall time actually taken to finish every scheduled request; under
+    #: overload this exceeds *duration* (the backlog drains late).
+    elapsed: float = 0.0
+    latencies: list = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Achieved completions per second of actual elapsed time."""
+        window = self.elapsed or self.duration
+        if window <= 0:
+            return 0.0
+        return self.completed / window
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile latency."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(p / 100.0 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        """90th-percentile latency."""
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(99)
+
+    @property
+    def mean_latency(self) -> float:
+        """Arithmetic mean latency."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+
+class LoadGenerator:
+    """Drives an HTTP target at a constant offered rate."""
+
+    def __init__(self, node: Node, target_ip: str, target_port: int, *,
+                 rate: float, duration: float, connections: int = 8,
+                 method: str = "GET", path: str = "/",
+                 headers: Optional[dict[str, str]] = None,
+                 pod: Optional[Pod] = None,
+                 name: str = "wrk2",
+                 ingress_abi: str = "read", egress_abi: str = "write"):
+        if rate <= 0 or duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        self.node = node
+        self.kernel = node.kernel
+        self.sim = node.kernel.sim
+        self.target = (target_ip, target_port)
+        self.rate = rate
+        self.duration = duration
+        self.connections = connections
+        self.method = method
+        self.path = path
+        self.headers = dict(headers or {})
+        self.name = name
+        self.ip = pod.ip if pod is not None else node.ip
+        self.ingress_abi = ingress_abi
+        self.egress_abi = egress_abi
+        self._next_slot = 0
+        self._start_time = 0.0
+
+    def run(self):
+        """Spawn the run; the returned process's result is a LoadReport."""
+        return self.sim.spawn(self._run(), name=f"{self.name}:run")
+
+    def _run(self) -> Generator:
+        report = LoadReport(offered_rate=self.rate, duration=self.duration)
+        self._start_time = self.sim.now
+        self._next_slot = 0
+        process = self.kernel.create_process(self.name, self.ip)
+        workers = []
+        for _ in range(self.connections):
+            thread = self.kernel.create_thread(process)
+            workers.append(self.sim.spawn(
+                self._connection_loop(thread, report),
+                name=f"{self.name}:conn"))
+        yield self.sim.all_of([worker.done_event for worker in workers])
+        report.elapsed = self.sim.now - self._start_time
+        return report
+
+    def _take_slot(self) -> Optional[float]:
+        """Next scheduled request start time, or None past the deadline."""
+        scheduled = self._start_time + self._next_slot / self.rate
+        if scheduled >= self._start_time + self.duration:
+            return None
+        self._next_slot += 1
+        return scheduled
+
+    def _connection_loop(self, thread, report: LoadReport) -> Generator:
+        kernel = self.kernel
+        fd = None
+        payload = http1.encode_request(self.method, self.path,
+                                       headers=self.headers,
+                                       host=f"{self.target[0]}")
+        while True:
+            scheduled = self._take_slot()
+            if scheduled is None:
+                break
+            if scheduled > self.sim.now:
+                yield scheduled - self.sim.now
+            report.sent += 1
+            try:
+                if fd is None:
+                    fd = yield from kernel.connect(thread, *self.target)
+                yield from kernel.send_abi(self.egress_abi, thread, fd,
+                                           payload)
+                buffer = b""
+                while True:
+                    data = yield from kernel.recv_abi(self.ingress_abi,
+                                                      thread, fd)
+                    if not data:
+                        raise ConnectionError("closed mid-response")
+                    buffer += data
+                    if http_message_complete(buffer):
+                        break
+                response = decode_http_response(buffer)
+                latency = self.sim.now - scheduled
+                report.latencies.append(latency)
+                if response.status_code >= 400:
+                    report.errors += 1
+                else:
+                    report.completed += 1
+            except (ConnectionError, ConnectionResetError,
+                    BrokenPipeError, ConnectionRefusedError):
+                report.errors += 1
+                if fd is not None:
+                    try:
+                        kernel.close(thread, fd)
+                    except Exception:  # noqa: BLE001
+                        pass
+                fd = None
+        if fd is not None:
+            try:
+                kernel.close(thread, fd)
+            except Exception:  # noqa: BLE001
+                pass

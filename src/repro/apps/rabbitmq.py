@@ -1,0 +1,210 @@
+"""RabbitMQ-like AMQP broker with bounded queues.
+
+The §4.1.3 case study substrate: producers ``basic.publish`` into named
+queues; messages are drained either by an internal consumer (a pure rate,
+enough for the backlog case) or pushed to *subscribed consumer services*
+as ``basic.deliver`` frames carrying the original delivery tag — the
+substrate for the queue-relay tracing extension (assembler rule R11).
+
+When a queue's backlog reaches its capacity the broker first NACKs and —
+if ``reset_on_backlog`` is set, matching the observed production failure —
+starts resetting producer connections, which surfaces at clients as
+``ECONNRESET`` and in flow metrics as TCP resets.
+
+The broker also exposes its queue depth as a gauge, exported periodically
+to the metrics database with the broker pod's resource tags — that shared
+``pod`` tag is what lets DeepFlow correlate the backlog with the affected
+traces in under a minute (Figure 12).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.apps.runtime import Component, WorkerContext
+from repro.kernel.syscalls import Direction
+from repro.network.topology import Node, Pod
+from repro.protocols import amqp
+
+
+class RabbitMQBroker(Component):
+    """Message broker speaking the AMQP-method subset of the case study."""
+
+    def __init__(self, name: str, node: Node, port: int = 5672,
+                 pod: Optional[Pod] = None, *,
+                 queue_capacity: int = 100,
+                 consume_rate: float = 200.0,
+                 publish_time: float = 0.0003,
+                 reset_on_backlog: bool = False,
+                 **kwargs):
+        super().__init__(name, node, port, pod, **kwargs)
+        self.queue_capacity = queue_capacity
+        self.consume_rate = consume_rate
+        self.publish_time = publish_time
+        self.reset_on_backlog = reset_on_backlog
+        #: queue name -> pending (channel, delivery_tag, body) messages
+        self.queues: dict[str, deque] = {}
+        #: queue name -> (consumer ip, consumer port)
+        self.subscriptions: dict[str, tuple[str, int]] = {}
+        self.published = 0
+        self.delivered = 0
+        self.nacked = 0
+        self.resets_issued = 0
+        self._consumer_started = False
+
+    def start(self) -> None:
+        """Start serving (spawns the accept loop)."""
+        super().start()
+        if not self._consumer_started:
+            self._consumer_started = True
+            self.sim.spawn(self._drain_loop(), name=f"{self.name}:drain")
+
+    # -- consumption ---------------------------------------------------------
+
+    def subscribe(self, queue: str, consumer_ip: str,
+                  consumer_port: int) -> None:
+        """Push *queue*'s messages to a consumer as basic.deliver frames.
+
+        Must be called after :meth:`start`; spawns the push loop.
+        """
+        if queue in self.subscriptions:
+            raise ValueError(f"queue {queue!r} already has a consumer")
+        self.subscriptions[queue] = (consumer_ip, consumer_port)
+        thread = self.kernel.create_thread(self.process)
+        self.sim.spawn(self._push_loop(thread, queue),
+                       name=f"{self.name}:push:{queue}")
+
+    def _drain_loop(self) -> Generator:
+        """Internal consumer for unsubscribed queues (a pure drain rate)."""
+        interval = 1.0 / self.consume_rate if self.consume_rate > 0 else 1.0
+        while self.running:
+            yield interval
+            for queue_name, pending in self.queues.items():
+                if queue_name not in self.subscriptions and pending:
+                    pending.popleft()
+
+    def _push_loop(self, thread, queue: str) -> Generator:
+        interval = 1.0 / self.consume_rate if self.consume_rate > 0 else 1.0
+        worker = WorkerContext(self, thread, None)
+        consumer_ip, consumer_port = self.subscriptions[queue]
+        while self.running:
+            pending = self.queues.get(queue)
+            if not pending:
+                yield interval
+                continue
+            channel, delivery_tag, body = pending.popleft()
+            frame = amqp.encode_deliver(channel, delivery_tag, queue, body)
+            try:
+                reply = yield from worker.call_raw(consumer_ip,
+                                                   consumer_port, frame)
+            except (ConnectionResetError, ConnectionError):
+                # Consumer gone: requeue at the front and back off.
+                pending.appendleft((channel, delivery_tag, body))
+                worker.drop_connection(consumer_ip, consumer_port)
+                yield interval
+                continue
+            parsed = amqp.AmqpSpec().parse(reply)
+            if parsed is not None and not parsed.is_error:
+                self.delivered += 1
+            yield interval
+
+    def total_depth(self) -> int:
+        """Messages pending across all queues."""
+        return sum(len(pending) for pending in self.queues.values())
+
+    # -- publish handling ----------------------------------------------------
+
+    def handle_payload(self, worker: WorkerContext,
+                       data: bytes) -> Generator:
+        """Process one request; returns the response bytes."""
+        parsed = amqp.AmqpSpec().parse(data)
+        if parsed is None or parsed.operation != "basic.publish":
+            return None  # protocol violation: close the connection
+        if self.publish_time:
+            yield from worker.work(self.publish_time)
+        queue_name = parsed.resource
+        pending = self.queues.setdefault(queue_name, deque())
+        channel = (parsed.stream_id or 0) >> 32
+        delivery_tag = (parsed.stream_id or 0) & 0xFFFFFFFF
+        if len(pending) >= self.queue_capacity:
+            self.nacked += 1
+            if self.reset_on_backlog:
+                # The production failure mode: the broker tears the
+                # connection down instead of answering.
+                self.resets_issued += 1
+                sock = self._worker_socket(worker)
+                if sock is not None and sock.flow is not None:
+                    sock.flow.reset()
+                return None
+            return amqp.encode_nack(channel, delivery_tag)
+        pending.append((channel, delivery_tag, b""))
+        self.published += 1
+        return amqp.encode_ack(channel, delivery_tag)
+
+    def _worker_socket(self, worker: WorkerContext):
+        # The serving socket is the most recently accepted one owned by
+        # this process; resets act on the connection being served.
+        table = self.kernel._fd_tables.get(self.process.pid, {})
+        if not table:
+            return None
+        last_fd = max(table)
+        return table[last_fd]
+
+    # -- metrics export (Prometheus-style, §3.4) -----------------------------
+
+    def start_metrics_exporter(self, metrics_db, interval: float = 0.5,
+                               tags: Optional[dict] = None) -> None:
+        """Periodically export queue depth with this pod's resource tags."""
+        export_tags = dict(tags or {})
+        if self.pod is not None:
+            export_tags.setdefault("pod", self.pod.name)
+        export_tags.setdefault("app", "rabbitmq")
+
+        def exporter() -> Generator:
+            """Periodic metric export loop."""
+            while self.running:
+                yield interval
+                metrics_db.record("rabbitmq.queue_depth", export_tags,
+                                  self.sim.now, float(self.total_depth()))
+                metrics_db.record("rabbitmq.nacked_total", export_tags,
+                                  self.sim.now, float(self.nacked))
+
+        self.sim.spawn(exporter(), name=f"{self.name}:metrics")
+
+
+class ConsumerService(Component):
+    """A worker service consuming basic.deliver pushes from the broker."""
+
+    def __init__(self, name: str, node: Node, port: int,
+                 pod: Optional[Pod] = None, *,
+                 process_time: float = 0.001, **kwargs):
+        super().__init__(name, node, port, pod, **kwargs)
+        self.process_time = process_time
+        self.consumed = 0
+
+    def handle_payload(self, worker: WorkerContext,
+                       data: bytes) -> Generator:
+        """Process one request; returns the response bytes."""
+        parsed = amqp.AmqpSpec().parse(data)
+        if parsed is None or parsed.operation != "basic.deliver":
+            return None
+        if self.process_time:
+            yield from worker.work(self.process_time)
+        self.consumed += 1
+        channel = (parsed.stream_id or 0) >> 32
+        delivery_tag = (parsed.stream_id or 0) & 0xFFFFFFFF
+        return amqp.encode_ack(channel, delivery_tag)
+
+
+def publish(worker: WorkerContext, broker_ip: str, broker_port: int,
+            channel: int, delivery_tag: int, queue: str,
+            body: bytes = b"") -> Generator:
+    """Client helper: publish one message, await the broker's ack/nack.
+
+    Returns the parsed response message; raises ConnectionResetError when
+    the broker resets the connection (the backlog failure mode).
+    """
+    payload = amqp.encode_publish(channel, delivery_tag, queue, body)
+    raw = yield from worker.call_raw(broker_ip, broker_port, payload)
+    return amqp.AmqpSpec().parse(raw)

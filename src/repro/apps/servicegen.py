@@ -1,0 +1,139 @@
+"""Random microservice topology generation.
+
+The paper motivates DeepFlow with microservice graphs of up to 1,500
+components [89]; this module generates layered random service graphs
+(chains, fan-outs, diamonds) so that stress tests and campaigns exercise
+shapes beyond the hand-built demos.  Generation is seeded through the
+simulator's RNG, so topologies are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.apps.runtime import HttpService, Response
+from repro.network.topology import Cluster, ClusterBuilder, Pod
+from repro.network.transport import Network
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class GeneratedApp:
+    """A deployed random service graph."""
+
+    sim: Simulator
+    cluster: Cluster
+    network: Network
+    services: dict[str, HttpService]
+    edges: list[tuple[str, str]]       # caller -> callee
+    pods: dict[str, Pod]
+    entry: str = ""
+
+    @property
+    def entry_ip(self) -> str:
+        """IP of the entry service's pod."""
+        return self.pods[self.entry].ip
+
+    @property
+    def entry_port(self) -> int:
+        """Listening port of the entry service."""
+        return self.services[self.entry].port
+
+    def sessions_per_request(self) -> int:
+        """Sessions one entry request triggers, counting repeated
+        invocations (a diamond's shared callee runs once per caller),
+        plus the load generator's edge session."""
+        adjacency: dict[str, list[str]] = {}
+        for caller, callee in self.edges:
+            adjacency.setdefault(caller, []).append(callee)
+
+        def downstream_sessions(name: str) -> int:
+            """Sessions triggered by one invocation."""
+            total = 0
+            for callee in adjacency.get(name, ()):
+                total += 1 + downstream_sessions(callee)
+            return total
+
+        return downstream_sessions(self.entry) + 1
+
+    def stop(self) -> None:
+        """Stop all components of this deployment."""
+        for service in self.services.values():
+            service.stop()
+
+
+def generate(sim: Optional[Simulator] = None, *, seed: int = 0,
+             layers: int = 3, width: int = 3,
+             fanout: int = 2, node_count: int = 4,
+             service_time_range: tuple[float, float] = (0.0005, 0.002),
+             ) -> GeneratedApp:
+    """Build a layered DAG of HTTP services and deploy it.
+
+    Layer 0 is the single entry service; each service in layer *i* calls
+    up to *fanout* services in layer *i+1* (at least one, so every layer
+    is reachable).
+    """
+    if layers < 1 or width < 1 or fanout < 1:
+        raise ValueError("layers, width, and fanout must be >= 1")
+    sim = sim or Simulator(seed=seed)
+    rng = sim.rng
+    builder = ClusterBuilder(node_count=node_count)
+    pods: dict[str, Pod] = {"loadgen": builder.add_pod(0, "loadgen-pod")}
+    names: list[list[str]] = []
+    for layer in range(layers):
+        layer_width = 1 if layer == 0 else width
+        row = []
+        for index in range(layer_width):
+            name = f"svc-l{layer}-{index}"
+            pods[name] = builder.add_pod(
+                rng.randrange(node_count), f"{name}-pod",
+                labels={"app": name, "layer": str(layer)})
+            row.append(name)
+        names.append(row)
+    cluster = builder.build()
+    network = Network(sim, cluster)
+
+    edges: list[tuple[str, str]] = []
+    callees: dict[str, list[str]] = {}
+    for layer in range(layers - 1):
+        for caller in names[layer]:
+            targets = rng.sample(
+                names[layer + 1],
+                k=min(len(names[layer + 1]), rng.randint(1, fanout)))
+            callees[caller] = targets
+            edges.extend((caller, callee) for callee in targets)
+
+    services: dict[str, HttpService] = {}
+    port = 9100
+    low, high = service_time_range
+    for layer_row in names:
+        for name in layer_row:
+            service = HttpService(name, pods[name].node, port,
+                                  pod=pods[name],
+                                  service_time=rng.uniform(low, high))
+            services[name] = service
+            port += 1
+
+    def make_handler(name: str):
+        """Build the request handler for one service."""
+        def handler(worker, request) -> Generator:
+            """Request handler."""
+            yield from worker.work(0.0001)
+            for callee in callees.get(name, ()):
+                target = services[callee]
+                reply = yield from worker.call_http(
+                    pods[callee].ip, target.port, "GET", f"/{callee}")
+                if reply.status_code >= 400:
+                    return Response(502)
+            return Response(200)
+        return handler
+
+    for name, service in services.items():
+        service.route("/")(make_handler(name))
+        service.start()
+
+    entry = names[0][0]
+    return GeneratedApp(sim=sim, cluster=cluster, network=network,
+                        services=services, edges=edges, pods=pods,
+                        entry=entry)

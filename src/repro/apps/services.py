@@ -1,0 +1,128 @@
+"""Infrastructure backends: DNS, Redis, MySQL.
+
+Each speaks its genuine wire protocol from :mod:`repro.protocols`, so the
+agent's protocol inference classifies their connections without hints.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.apps.runtime import Component, WorkerContext
+from repro.network.topology import Node, Pod
+from repro.protocols import dns, mysql, redis
+
+
+class DnsService(Component):
+    """Cluster DNS (CoreDNS stand-in).  Resolves service names to IPs."""
+
+    def __init__(self, name: str, node: Node, port: int = 53,
+                 pod: Optional[Pod] = None, *,
+                 lookup_time: float = 0.0002, **kwargs):
+        kwargs.setdefault("ingress_abi", "recvfrom")
+        kwargs.setdefault("egress_abi", "sendto")
+        super().__init__(name, node, port, pod, **kwargs)
+        self.lookup_time = lookup_time
+        self.records: dict[str, str] = {}
+
+    def add_record(self, domain: str, address: str) -> None:
+        """Add a name -> address record."""
+        self.records[domain] = address
+
+    def handle_payload(self, worker: WorkerContext,
+                       data: bytes) -> Generator:
+        """Process one request; returns the response bytes."""
+        parsed = dns.DnsSpec().parse(data)
+        if parsed is None:
+            return None
+        if self.lookup_time:
+            yield from worker.work(self.lookup_time)
+        address = self.records.get(parsed.resource)
+        if address is None:
+            return dns.encode_response(parsed.stream_id, parsed.resource,
+                                       rcode=dns.RCODE_NXDOMAIN)
+        return dns.encode_response(parsed.stream_id, parsed.resource,
+                                   address)
+
+
+class RedisService(Component):
+    """In-memory cache speaking RESP."""
+
+    def __init__(self, name: str, node: Node, port: int = 6379,
+                 pod: Optional[Pod] = None, *,
+                 op_time: float = 0.0001, **kwargs):
+        super().__init__(name, node, port, pod, **kwargs)
+        self.op_time = op_time
+        self.data: dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def handle_payload(self, worker: WorkerContext,
+                       data: bytes) -> Generator:
+        """Process one request; returns the response bytes."""
+        try:
+            args = redis.decode_request(data)
+        except ValueError:
+            return redis.encode_response(error="protocol error")
+        if self.op_time:
+            yield from worker.work(self.op_time)
+        command = args[0].upper() if args else ""
+        if command == "GET":
+            value = self.data.get(args[1])
+            if value is None:
+                self.misses += 1
+                return redis.encode_response(None)
+            self.hits += 1
+            return redis.encode_response(value)
+        if command == "SET" and len(args) >= 3:
+            self.data[args[1]] = args[2]
+            return redis.encode_response("OK")
+        if command == "DEL" and len(args) >= 2:
+            existed = args[1] in self.data
+            self.data.pop(args[1], None)
+            return redis.encode_response(integer=int(existed))
+        if command == "PING":
+            return redis.encode_response("PONG")
+        return redis.encode_response(error=f"unknown command '{command}'")
+
+
+class MysqlService(Component):
+    """A database backend speaking the MySQL packet protocol."""
+
+    def __init__(self, name: str, node: Node, port: int = 3306,
+                 pod: Optional[Pod] = None, *,
+                 query_time: float = 0.002, **kwargs):
+        super().__init__(name, node, port, pod, **kwargs)
+        self.query_time = query_time
+        self.tables: dict[str, int] = {}  # table -> row count
+        self.queries_served = 0
+        self.fail_table: Optional[str] = None
+
+    def add_table(self, table: str, rows: int = 100) -> None:
+        """Register a table with a row count."""
+        self.tables[table] = rows
+
+    def handle_payload(self, worker: WorkerContext,
+                       data: bytes) -> Generator:
+        """Process one request; returns the response bytes."""
+        parsed = mysql.MysqlSpec().parse(data)
+        if parsed is None:
+            return mysql.encode_error(1064, "malformed packet")
+        if self.query_time:
+            yield from worker.work(self.query_time)
+        self.queries_served += 1
+        if parsed.operation == "PING":
+            return mysql.encode_ok()
+        table = parsed.resource
+        if self.fail_table and table == self.fail_table:
+            return mysql.encode_error(1146,
+                                      f"Table '{table}' doesn't exist")
+        if parsed.operation == "SELECT":
+            rows = self.tables.get(table, 0)
+            return mysql.encode_resultset(column_count=3,
+                                          rows=min(rows, 0xFFFF))
+        if parsed.operation in ("INSERT", "UPDATE", "DELETE"):
+            if table in self.tables and parsed.operation == "INSERT":
+                self.tables[table] += 1
+            return mysql.encode_ok(affected_rows=1)
+        return mysql.encode_ok()

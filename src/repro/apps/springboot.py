@@ -1,0 +1,140 @@
+"""The Spring-Boot-style demo application (§5.4, Figure 16(a)).
+
+A small service chain behind an API gateway, in the shape of the Jaeger
+Spring Boot demo [12]:
+
+    loadgen → api-gateway → order-service → user-service
+                               ├→ redis (session cache)
+                               └→ mysql (orders table)
+
+Build it with :func:`build`, optionally passing an intrusive tracer
+(Jaeger-like) to instrument the HTTP services — the comparison point of
+Figure 16(a).  DeepFlow observes the same deployment with zero code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.runtime import HttpService, Response
+from repro.apps.services import MysqlService, RedisService
+from repro.network.topology import Cluster, ClusterBuilder, Pod
+from repro.network.transport import Network
+from repro.protocols import mysql as mysql_proto
+from repro.protocols import redis as redis_proto
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class SpringBootDemo:
+    """Handle to the deployed demo."""
+
+    sim: Simulator
+    cluster: Cluster
+    network: Network
+    pods: dict[str, Pod]
+    components: dict[str, object]
+    entry_ip: str = ""
+    entry_port: int = 8080
+
+    def stop(self) -> None:
+        """Stop all components of this deployment."""
+        for component in self.components.values():
+            component.stop()
+
+
+def _mysql_complete(buffer: bytes) -> bool:
+    if len(buffer) < 4:
+        return False
+    length = int.from_bytes(buffer[:3], "little")
+    return len(buffer) >= length + 4
+
+
+def build(sim: Simulator | None = None, *, tracer=None,
+          gateway_time: float = 0.0012, order_time: float = 0.005,
+          user_time: float = 0.0025,
+          node_count: int = 3) -> SpringBootDemo:
+    """Deploy the demo on a fresh cluster; returns a handle."""
+    sim = sim or Simulator(seed=16)
+    builder = ClusterBuilder(node_count=node_count)
+    pods = {
+        "loadgen": builder.add_pod(0, "loadgen-pod",
+                                   labels={"app": "loadgen"}),
+        "gateway": builder.add_pod(0, "gateway-pod",
+                                   labels={"app": "api-gateway",
+                                           "version": "v1"}),
+        "order": builder.add_pod(1, "order-pod",
+                                 labels={"app": "order-service",
+                                         "version": "v1"}),
+        "user": builder.add_pod(2, "user-pod",
+                                labels={"app": "user-service",
+                                        "version": "v1"}),
+        "redis": builder.add_pod(1, "redis-pod", labels={"app": "redis"}),
+        "mysql": builder.add_pod(2, "mysql-pod", labels={"app": "mysql"}),
+    }
+    cluster = builder.build()
+    network = Network(sim, cluster)
+
+    redis_backend = RedisService("redis", pods["redis"].node, 6379,
+                                 pod=pods["redis"])
+    redis_backend.data["session:active"] = "42"
+    mysql_backend = MysqlService("mysql", pods["mysql"].node, 3306,
+                                 pod=pods["mysql"], query_time=0.0035)
+    mysql_backend.add_table("orders", rows=1000)
+
+    user_service = HttpService("user-service", pods["user"].node, 8083,
+                               pod=pods["user"], tracer=tracer,
+                               service_time=user_time)
+
+    @user_service.route("/users")
+    def get_user(worker, request):
+        """User-service handler."""
+        yield from worker.work(0.0002)
+        return Response(200, body=b'{"user": "u-1", "tier": "gold"}')
+
+    order_service = HttpService("order-service", pods["order"].node, 8082,
+                                pod=pods["order"], tracer=tracer,
+                                service_time=order_time)
+
+    @order_service.route("/orders")
+    def get_orders(worker, request):
+        # Cache lookup (RESP), then the user service, then the database.
+        """Order-service handler: cache, user service, database."""
+        cache_reply = yield from worker.call_raw(
+            pods["redis"].ip, 6379,
+            redis_proto.encode_request("GET", "session:active"))
+        del cache_reply
+        user_reply = yield from order_service.call_downstream(
+            worker, pods["user"].ip, 8083, "GET", "/users/u-1")
+        db_reply = yield from worker.call_raw(
+            pods["mysql"].ip, 3306,
+            mysql_proto.encode_query(
+                "SELECT * FROM orders WHERE user='u-1'"),
+            complete=_mysql_complete)
+        del db_reply
+        status = 200 if user_reply.status_code < 400 else 502
+        return Response(status, body=b'{"orders": [1, 2, 3]}')
+
+    gateway = HttpService("api-gateway", pods["gateway"].node, 8080,
+                          pod=pods["gateway"], tracer=tracer,
+                          service_time=gateway_time)
+
+    @gateway.route("/api")
+    def api(worker, request):
+        """Gateway entry handler."""
+        upstream = yield from gateway.call_downstream(
+            worker, pods["order"].ip, 8082, "GET", "/orders")
+        return Response(upstream.status_code, body=upstream.body)
+
+    components = {
+        "redis": redis_backend,
+        "mysql": mysql_backend,
+        "user-service": user_service,
+        "order-service": order_service,
+        "api-gateway": gateway,
+    }
+    for component in components.values():
+        component.start()
+    return SpringBootDemo(sim=sim, cluster=cluster, network=network,
+                          pods=pods, components=components,
+                          entry_ip=pods["gateway"].ip, entry_port=8080)

@@ -1,0 +1,27 @@
+"""Baseline intrusive tracers (the §5.4 comparators).
+
+Explicit-context-propagation tracers in the style of Jaeger and Zipkin:
+the application code is modified (a tracer object is wired into each
+component's dispatch path), trace/span ids are generated per request and
+*propagated inside message headers* (W3C ``traceparent`` for the
+Jaeger-like tracer, ``b3`` for the Zipkin-like one), and only
+application-level spans are produced — no network coverage, no
+closed-source visibility.
+
+Each tracer charges a per-operation overhead to the thread it runs on,
+which is where the Figure 16 baseline overhead comes from.
+"""
+
+from repro.baselines.tracers import (
+    AppSpanHandle,
+    IntrusiveTracer,
+    JaegerTracer,
+    ZipkinTracer,
+)
+
+__all__ = [
+    "AppSpanHandle",
+    "IntrusiveTracer",
+    "JaegerTracer",
+    "ZipkinTracer",
+]

@@ -1,0 +1,12 @@
+"""Core data model of the tracing system: spans and traces.
+
+Shared by the agent (which constructs spans) and the server (which stores
+them and assembles traces).  A distributed trace is "the life cycle
+(spans) and correlated metrics within each component, and the causal
+relationships and execution sequences between spans" (§2.1).
+"""
+
+from repro.core.ids import IdAllocator
+from repro.core.span import Span, SpanKind, SpanSide, Trace
+
+__all__ = ["IdAllocator", "Span", "SpanKind", "SpanSide", "Trace"]

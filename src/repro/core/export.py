@@ -1,0 +1,107 @@
+"""Trace export to interchange formats.
+
+Assembled traces can be handed to existing visualization tooling: the
+Jaeger UI JSON layout (one object per trace with ``spans`` and
+``processes``) and an OTLP-like flat span list.  Span ids are rendered as
+hex strings, durations in microseconds, matching the conventions of the
+target tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.span import Span, Trace
+
+
+def _hex_id(value: int | None, width: int = 16) -> str:
+    if value is None:
+        return ""
+    return format(value & (16 ** width - 1), f"0{width}x")
+
+
+def span_to_jaeger(span: Span, trace_id: str) -> dict[str, Any]:
+    """One span in Jaeger UI JSON form."""
+    tags = [{"key": key, "type": "string", "value": str(value)}
+            for key, value in sorted(span.tags.items())]
+    tags.append({"key": "span.kind", "type": "string",
+                 "value": span.kind.value})
+    tags.append({"key": "deepflow.side", "type": "string",
+                 "value": span.side.value})
+    if span.status_code is not None:
+        tags.append({"key": "http.status_code", "type": "int64",
+                     "value": span.status_code})
+    for key, value in sorted(span.metrics.items()):
+        tags.append({"key": key, "type": "float64", "value": value})
+    references = []
+    if span.parent_id is not None:
+        references.append({"refType": "CHILD_OF", "traceID": trace_id,
+                           "spanID": _hex_id(span.parent_id)})
+    return {
+        "traceID": trace_id,
+        "spanID": _hex_id(span.span_id),
+        "operationName": span.endpoint or span.protocol or "span",
+        "references": references,
+        "startTime": int(span.start_time * 1e6),
+        "duration": max(1, int(span.duration * 1e6)),
+        "tags": tags,
+        "processID": f"p-{span.process_name or span.device_name}",
+    }
+
+
+def trace_to_jaeger(trace: Trace) -> dict[str, Any]:
+    """A whole trace in the Jaeger UI's ``{data: [...]}`` element form."""
+    roots = trace.roots()
+    trace_id = _hex_id(roots[0].span_id if roots else 0, width=32)
+    processes = {}
+    for span in trace:
+        key = f"p-{span.process_name or span.device_name}"
+        processes.setdefault(key, {
+            "serviceName": span.process_name or span.device_name,
+            "tags": [{"key": "host", "type": "string",
+                      "value": span.host}],
+        })
+    return {
+        "traceID": trace_id,
+        "spans": [span_to_jaeger(span, trace_id) for span in trace],
+        "processes": processes,
+    }
+
+
+def trace_to_otlp(trace: Trace) -> list[dict[str, Any]]:
+    """A flat OTLP-like span list (one dict per span)."""
+    roots = trace.roots()
+    trace_id = _hex_id(roots[0].span_id if roots else 0, width=32)
+    out = []
+    for span in trace:
+        out.append({
+            "traceId": trace_id,
+            "spanId": _hex_id(span.span_id),
+            "parentSpanId": _hex_id(span.parent_id),
+            "name": span.endpoint or span.protocol or "span",
+            "kind": ("SPAN_KIND_SERVER" if span.side.value == "s"
+                     else "SPAN_KIND_CLIENT" if span.side.value == "c"
+                     else "SPAN_KIND_INTERNAL"),
+            "startTimeUnixNano": int(span.start_time * 1e9),
+            "endTimeUnixNano": int(span.end_time * 1e9),
+            "status": {"code": ("STATUS_CODE_ERROR" if span.is_error
+                                else "STATUS_CODE_OK")},
+            "attributes": {**{str(k): str(v)
+                              for k, v in span.tags.items()},
+                           **{str(k): v
+                              for k, v in span.metrics.items()}},
+        })
+    return out
+
+
+def trace_to_json(trace: Trace, fmt: str = "jaeger", indent: int = 2
+                  ) -> str:
+    """Serialize a trace; *fmt* is "jaeger" or "otlp"."""
+    if fmt == "jaeger":
+        payload: Any = {"data": [trace_to_jaeger(trace)]}
+    elif fmt == "otlp":
+        payload = trace_to_otlp(trace)
+    else:
+        raise ValueError(f"unknown export format {fmt!r}")
+    return json.dumps(payload, indent=indent, sort_keys=True)

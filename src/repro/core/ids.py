@@ -1,0 +1,31 @@
+"""Globally unique identifier allocation.
+
+Span ids and systrace ids must be unique across agents without any
+coordination at allocation time; each agent receives an index from the
+server at registration and prefixes its counter with it — the same scheme
+high-throughput collectors use in practice.
+"""
+
+from __future__ import annotations
+
+_AGENT_SHIFT = 40
+
+
+class IdAllocator:
+    """Per-agent id allocator: ``(agent_index << 40) | counter``."""
+
+    def __init__(self, agent_index: int):
+        if agent_index < 0:
+            raise ValueError("agent index must be non-negative")
+        self.agent_index = agent_index
+        self._counter = 0
+
+    def next_id(self) -> int:
+        """Allocate the next globally unique identifier."""
+        self._counter += 1
+        return (self.agent_index << _AGENT_SHIFT) | self._counter
+
+    @staticmethod
+    def agent_of(identifier: int) -> int:
+        """Recover the agent index that allocated *identifier*."""
+        return identifier >> _AGENT_SHIFT

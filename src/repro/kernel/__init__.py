@@ -1,0 +1,57 @@
+"""Simulated operating-system kernel substrate.
+
+This package stands in for the Linux kernel in the reproduction (DESIGN.md
+§1).  It provides:
+
+* :mod:`repro.kernel.process` — OS processes, threads, and coroutines
+  (DeepFlow's pseudo-threads);
+* :mod:`repro.kernel.sockets` — TCP sockets with genuine byte sequence
+  numbers, the substrate for inter-component association;
+* :mod:`repro.kernel.syscalls` — the ten ingress/egress syscall ABIs of
+  Table 3 and the context records captured at hook time;
+* :mod:`repro.kernel.ebpf` — kprobe/tracepoint/uprobe hook points, BPF
+  programs with a bounded-complexity verifier, and a perf ring buffer;
+* :mod:`repro.kernel.kernel` — the kernel proper: fd tables, blocking
+  syscall semantics, and hook dispatch with a calibrated latency model.
+"""
+
+from repro.kernel.ebpf import (
+    BPFProgram,
+    HookRegistry,
+    PerfBuffer,
+    VerifierError,
+    verify_program,
+)
+from repro.kernel.kernel import Kernel, KernelError
+from repro.kernel.process import Coroutine, OSProcess, Thread
+from repro.kernel.sockets import FiveTuple, Socket, SocketState
+from repro.kernel.syscalls import (
+    ALL_ABIS,
+    EGRESS_ABIS,
+    INGRESS_ABIS,
+    Direction,
+    SyscallContext,
+    SyscallRecord,
+)
+
+__all__ = [
+    "ALL_ABIS",
+    "BPFProgram",
+    "Coroutine",
+    "Direction",
+    "EGRESS_ABIS",
+    "FiveTuple",
+    "HookRegistry",
+    "INGRESS_ABIS",
+    "Kernel",
+    "KernelError",
+    "OSProcess",
+    "PerfBuffer",
+    "Socket",
+    "SocketState",
+    "SyscallContext",
+    "SyscallRecord",
+    "Thread",
+    "VerifierError",
+    "verify_program",
+]

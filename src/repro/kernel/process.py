@@ -1,0 +1,77 @@
+"""OS processes, threads, and coroutines (pseudo-threads).
+
+DeepFlow's span construction keys on ``(pid, tid)`` — the kernel handles at
+most one instrumented syscall per thread at a time — and, for runtimes like
+Go, on coroutine identity and parent/child lineage (§3.3.1).  These classes
+carry exactly that identity information; the actual scheduling of a thread's
+work is a simulation process owned by the application runtime layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Coroutine:
+    """A user-space scheduled task multiplexed onto a kernel thread.
+
+    The kernel emits a creation event for every coroutine (hookable by the
+    agent), carrying the parent relationship that DeepFlow stores in its
+    pseudo-thread structure.
+    """
+
+    def __init__(self, coroutine_id: int, thread: "Thread",
+                 parent: Optional["Coroutine"] = None):
+        self.coroutine_id = coroutine_id
+        self.thread = thread
+        self.parent = parent
+
+    @property
+    def parent_id(self) -> Optional[int]:
+        """Parent coroutine's id, or None."""
+        return self.parent.coroutine_id if self.parent else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Coroutine {self.coroutine_id} on tid={self.thread.tid}>"
+
+
+class Thread:
+    """A kernel thread.  Syscalls execute in the context of a thread.
+
+    ``current_coroutine`` is the coroutine currently scheduled on this
+    thread, if the owning process uses a coroutine runtime; the kernel
+    stamps its id into every syscall context.
+    """
+
+    def __init__(self, tid: int, process: "OSProcess"):
+        self.tid = tid
+        self.process = process
+        self.current_coroutine: Optional[Coroutine] = None
+
+    @property
+    def pid(self) -> int:
+        """Owning process id."""
+        return self.process.pid
+
+    @property
+    def coroutine_id(self) -> Optional[int]:
+        """Id of the coroutine scheduled on this thread, if any."""
+        coroutine = self.current_coroutine
+        return coroutine.coroutine_id if coroutine else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Thread tid={self.tid} pid={self.pid}>"
+
+
+class OSProcess:
+    """An OS process: a pid, a name, a pod/netns IP, and its threads."""
+
+    def __init__(self, pid: int, name: str, ip: str):
+        self.pid = pid
+        self.name = name
+        self.ip = ip
+        self.threads: list[Thread] = []
+        self.coroutines: list[Coroutine] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<OSProcess pid={self.pid} {self.name!r} ip={self.ip}>"

@@ -1,0 +1,180 @@
+"""TCP sockets with genuine byte sequence numbers.
+
+The TCP sequence number is load-bearing for DeepFlow: because L2/L3/L4
+forwarding never rewrites it, the same message observed at the client, at
+every capture point along the network path, and at the server shares one
+sequence number, and the server uses it for inter-component association
+(§3.3.2).  The simulated socket therefore tracks real per-direction byte
+counters, exactly like a TCP endpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.transport import Flow
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The classic connection five-tuple."""
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    protocol: str = "tcp"
+
+    def reversed(self) -> "FiveTuple":
+        """The same connection seen from the other endpoint."""
+        return FiveTuple(self.dst_ip, self.dst_port, self.src_ip,
+                         self.src_port, self.protocol)
+
+    def canonical(self) -> tuple:
+        """An endpoint-order-independent key identifying the connection."""
+        a = (self.src_ip, self.src_port)
+        b = (self.dst_ip, self.dst_port)
+        return (min(a, b), max(a, b), self.protocol)
+
+    def __str__(self) -> str:
+        return (f"{self.src_ip}:{self.src_port}->"
+                f"{self.dst_ip}:{self.dst_port}/{self.protocol}")
+
+
+class SocketState(enum.Enum):
+    """Lifecycle state of a socket."""
+    LISTENING = "listening"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+    RESET = "reset"
+
+
+#: Initial send sequence number.  Deterministic for reproducibility; real
+#: stacks randomize the ISN but DeepFlow only relies on equality of message
+#: first-byte sequence numbers, which randomization does not affect.
+INITIAL_SEQ = 1
+
+
+class Socket:
+    """One endpoint of a simulated TCP connection.
+
+    Data arrives as ``(seq, bytes)`` chunks from the network flow and is
+    kept in arrival order; a reader drains whole chunks up to its buffer
+    size and learns the sequence number of the first byte it read.
+    """
+
+    def __init__(self, sim: Simulator, socket_id: int,
+                 five_tuple: FiveTuple, pid: int):
+        self.sim = sim
+        self.socket_id = socket_id
+        self.five_tuple = five_tuple
+        self.pid = pid
+        self.state = SocketState.ESTABLISHED
+        self.flow: Optional["Flow"] = None
+        self.tx_next_seq = INITIAL_SEQ
+        self.rx_next_seq = INITIAL_SEQ
+        self._rx_chunks: deque[tuple[int, bytes]] = deque()
+        self._rx_waiters: deque[Event] = deque()
+        self._eof = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- sending -------------------------------------------------------------
+
+    def reserve_tx(self, nbytes: int) -> int:
+        """Allocate sequence space for *nbytes* and return the first seq."""
+        seq = self.tx_next_seq
+        self.tx_next_seq += nbytes
+        self.bytes_sent += nbytes
+        return seq
+
+    # -- receiving -----------------------------------------------------------
+
+    def deliver(self, seq: int, data: bytes) -> None:
+        """Called by the network flow when a segment reaches this endpoint."""
+        if self.state in (SocketState.CLOSED, SocketState.RESET):
+            return
+        self._rx_chunks.append((seq, data))
+        self._wake_readers()
+
+    def deliver_eof(self) -> None:
+        """Peer closed its sending side."""
+        self._eof = True
+        self._wake_readers()
+
+    def deliver_reset(self) -> None:
+        """Connection torn down with RST (the RabbitMQ case study path)."""
+        self.state = SocketState.RESET
+        self._wake_readers()
+
+    def _wake_readers(self) -> None:
+        while self._rx_waiters:
+            self._rx_waiters.popleft().succeed(None)
+
+    @property
+    def readable(self) -> bool:
+        """Whether a read would return without blocking."""
+        return (bool(self._rx_chunks) or self._eof
+                or self.state == SocketState.RESET)
+
+    def wait_readable(self) -> Event:
+        """Event that triggers once data, EOF, or a reset is available."""
+        event = self.sim.event()
+        if self.readable:
+            event.succeed(None)
+        else:
+            self._rx_waiters.append(event)
+        return event
+
+    def read_available(self, max_bytes: int) -> tuple[int, bytes]:
+        """Drain queued chunks up to *max_bytes*; returns (first_seq, data).
+
+        Raises ConnectionResetError on a reset connection; returns
+        ``(rx_next_seq, b"")`` at EOF — mirroring ``read(2)`` semantics.
+        """
+        if self.state == SocketState.RESET and not self._rx_chunks:
+            raise ConnectionResetError(str(self.five_tuple))
+        parts: list[bytes] = []
+        first_seq: Optional[int] = None
+        taken = 0
+        while self._rx_chunks and taken < max_bytes:
+            seq, data = self._rx_chunks[0]
+            if first_seq is None:
+                first_seq = seq
+            remaining = max_bytes - taken
+            if len(data) <= remaining:
+                self._rx_chunks.popleft()
+                parts.append(data)
+                taken += len(data)
+            else:
+                parts.append(data[:remaining])
+                self._rx_chunks[0] = (seq + remaining, data[remaining:])
+                taken += remaining
+        if first_seq is None:
+            # EOF with no pending data.
+            return self.rx_next_seq, b""
+        payload = b"".join(parts)
+        self.rx_next_seq = first_seq + len(payload)
+        self.bytes_received += len(payload)
+        return first_seq, payload
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close and release the resource."""
+        if self.state in (SocketState.CLOSED, SocketState.RESET):
+            return
+        self.state = SocketState.CLOSED
+        if self.flow is not None:
+            self.flow.endpoint_closed(self)
+        self._wake_readers()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Socket #{self.socket_id} {self.five_tuple} "
+                f"{self.state.value}>")

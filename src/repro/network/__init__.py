@@ -1,0 +1,58 @@
+"""Virtual network infrastructure.
+
+The paper's motivating survey (Figure 2) attributes 47.3% of microservice
+performance issues to network infrastructure — virtual networks, physical
+NICs, middleware, cluster services, node configuration.  This package
+builds that infrastructure so that DeepFlow's network-side coverage has
+something real to cover:
+
+* :mod:`repro.network.topology` — pods, nodes, physical machines, NICs,
+  vswitches, ToR switches, L4 gateways, with resource tags;
+* :mod:`repro.network.transport` — connection establishment and segment
+  delivery along device paths; TCP sequence numbers are preserved across
+  L2/L3/L4 forwarding (the basis of inter-component association);
+* :mod:`repro.network.captures` — cBPF/AF_PACKET-style capture points on
+  devices, feeding the agent's network spans;
+* :mod:`repro.network.metrics` — per-flow and per-device counters
+  (retransmissions, resets, RTT, ARP) attachable to traces;
+* :mod:`repro.network.faults` — fault injectors reproducing the paper's
+  case studies (faulty physical NIC ARP storms, backlogged middleware,
+  lossy links, misconfigured firewalls).
+"""
+
+from repro.network.captures import PacketRecord
+from repro.network.faults import (
+    ArpStormFault,
+    DropFault,
+    LatencyFault,
+    ResetFault,
+)
+from repro.network.metrics import FlowMetrics
+from repro.network.topology import (
+    Cluster,
+    ClusterBuilder,
+    Device,
+    DeviceKind,
+    Node,
+    PhysicalMachine,
+    Pod,
+)
+from repro.network.transport import Flow, Network
+
+__all__ = [
+    "ArpStormFault",
+    "Cluster",
+    "ClusterBuilder",
+    "Device",
+    "DeviceKind",
+    "DropFault",
+    "Flow",
+    "FlowMetrics",
+    "LatencyFault",
+    "Network",
+    "Node",
+    "PacketRecord",
+    "PhysicalMachine",
+    "Pod",
+    "ResetFault",
+]

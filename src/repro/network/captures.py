@@ -1,0 +1,50 @@
+"""Packet capture points (the cBPF / AF_PACKET integration, §3.2.1).
+
+DeepFlow derives NIC-side information by integrating classic BPF and
+AF_PACKET sockets.  In the simulation, enabling capture on a device makes
+every traversing segment produce a :class:`PacketRecord`; the agent turns
+these into *network spans* that slot between the client's and server's
+eBPF spans in the assembled trace (Appendix A's hop-by-hop coverage).
+
+Because L2/L3/L4 forwarding preserves the TCP sequence number, a packet
+record carries the same ``tcp_seq`` as the syscall records at both ends —
+that equality is the only thing linking them, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.sockets import FiveTuple
+
+
+@dataclass
+class PacketRecord:
+    """One captured segment at one device."""
+
+    device_name: str
+    device_kind: str
+    device_tags: dict[str, str]
+    five_tuple: FiveTuple  # client-oriented
+    direction: str  # "c2s" | "s2c"
+    tcp_seq: int
+    byte_len: int
+    payload: bytes
+    timestamp: float
+    flow_id: int
+    path_index: int  # position of the device along the path (c2s order)
+
+
+class CaptureTap:
+    """Subscription handle collecting packet records from devices."""
+
+    def __init__(self) -> None:
+        self.records: list[PacketRecord] = []
+
+    def __call__(self, record: PacketRecord) -> None:
+        self.records.append(record)
+
+    def drain(self) -> list[PacketRecord]:
+        """Remove and return everything collected so far."""
+        records, self.records = self.records, []
+        return records

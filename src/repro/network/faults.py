@@ -1,0 +1,132 @@
+"""Fault injectors for network infrastructure devices.
+
+Each fault attaches to a :class:`~repro.network.topology.Device` and is
+consulted by the transport on two occasions: when a connection is being
+established through the device (:meth:`Fault.on_connect`) and when a data
+segment traverses it (:meth:`Fault.on_segment`).
+
+The injectors reproduce the failure classes of Figure 2(b) and the paper's
+case studies:
+
+* :class:`ArpStormFault` — the §4.1.2 faulty physical NIC that emits
+  redundant ARP requests and stalls new connections for tens of minutes;
+* :class:`DropFault` — lossy links / virtual-network packet loss, surfacing
+  as TCP retransmissions in flow metrics;
+* :class:`LatencyFault` — congested or backlogged devices;
+* :class:`ResetFault` — middleboxes tearing connections down with RST
+  (the symptom observed in the §4.1.3 RabbitMQ case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class SegmentDecision:
+    """Outcome of fault evaluation for one segment at one device."""
+
+    drop: bool = False
+    reset: bool = False
+    extra_latency: float = 0.0
+
+
+@dataclass
+class ConnectDecision:
+    """Outcome of fault evaluation at connection-establishment time."""
+
+    refuse: bool = False
+    extra_latency: float = 0.0
+    extra_arp_requests: int = 0
+
+
+class Fault:
+    """Base class; subclasses override one or both evaluation points."""
+
+    def on_segment(self, rng: random.Random) -> Optional[SegmentDecision]:
+        """Evaluate this fault for one traversing segment."""
+        return None
+
+    def on_connect(self, rng: random.Random) -> Optional[ConnectDecision]:
+        """Evaluate this fault at connection-establishment time."""
+        return None
+
+
+class DropFault(Fault):
+    """Drop each traversing segment with a fixed probability."""
+
+    def __init__(self, probability: float):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        self.probability = probability
+
+    def on_segment(self, rng: random.Random) -> Optional[SegmentDecision]:
+        """Evaluate this fault for one traversing segment."""
+        if rng.random() < self.probability:
+            return SegmentDecision(drop=True)
+        return None
+
+
+class LatencyFault(Fault):
+    """Add latency (with optional jitter) to every traversing segment."""
+
+    def __init__(self, extra: float, jitter: float = 0.0):
+        self.extra = extra
+        self.jitter = jitter
+
+    def on_segment(self, rng: random.Random) -> SegmentDecision:
+        """Evaluate this fault for one traversing segment."""
+        jitter = rng.uniform(0, self.jitter) if self.jitter else 0.0
+        return SegmentDecision(extra_latency=self.extra + jitter)
+
+
+class ResetFault(Fault):
+    """Reset traversing connections with a fixed probability per segment."""
+
+    def __init__(self, probability: float):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        self.probability = probability
+
+    def on_segment(self, rng: random.Random) -> Optional[SegmentDecision]:
+        """Evaluate this fault for one traversing segment."""
+        if rng.random() < self.probability:
+            return SegmentDecision(reset=True)
+        return None
+
+
+class ArpStormFault(Fault):
+    """A malfunctioning NIC that floods ARP and stalls new connections.
+
+    Reproduces §4.1.2: newly created pods communicating through the faulty
+    physical NIC see redundant ARP requests and wait a long, variable time
+    before connectivity resumes.  ``stall_range`` is the (min, max) extra
+    connection-setup delay in seconds; the paper reports 20–120 minutes,
+    which examples scale down to keep simulations short.
+    """
+
+    def __init__(self, extra_arps_per_connect: int = 3,
+                 stall_range: tuple[float, float] = (1.0, 6.0),
+                 stall_probability: float = 1.0):
+        self.extra_arps_per_connect = extra_arps_per_connect
+        self.stall_range = stall_range
+        self.stall_probability = stall_probability
+
+    def on_connect(self, rng: random.Random) -> ConnectDecision:
+        """Evaluate this fault at connection-establishment time."""
+        decision = ConnectDecision(
+            extra_arp_requests=self.extra_arps_per_connect)
+        if rng.random() < self.stall_probability:
+            low, high = self.stall_range
+            decision.extra_latency = rng.uniform(low, high)
+        return decision
+
+
+class RefuseConnectionsFault(Fault):
+    """Refuse all connection attempts through the device (firewall rule)."""
+
+    def on_connect(self, rng: random.Random) -> ConnectDecision:
+        """Evaluate this fault at connection-establishment time."""
+        return ConnectDecision(refuse=True)

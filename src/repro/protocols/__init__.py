@@ -1,0 +1,32 @@
+"""Application-layer protocol suite.
+
+DeepFlow's agent performs one-time *protocol inference* per connection and
+then parses payloads "with their original semantics" (§3.3.1, Figure 6,
+phase 2).  This package provides genuine wire formats for the protocols the
+paper names ([35, 36, 57, 59, 60, 106, 114]): each module offers
+``encode_request``/``encode_response`` used by the workload applications
+and a :class:`~repro.protocols.base.ProtocolSpec` used by the agent.
+
+Protocols are classified as *pipeline* (order-preserving: HTTP/1.1, Redis,
+MySQL) or *parallel* (multiplexed with embedded IDs: HTTP/2 stream ids,
+DNS transaction ids, Kafka correlation ids, MQTT packet ids, Dubbo request
+ids) — the distinction drives session aggregation (§3.3.1, phase 3).
+"""
+
+from repro.protocols.base import (
+    MessageType,
+    ParsedMessage,
+    ProtocolSpec,
+)
+from repro.protocols.inference import (
+    DEFAULT_SPECS,
+    ProtocolInferenceEngine,
+)
+
+__all__ = [
+    "DEFAULT_SPECS",
+    "MessageType",
+    "ParsedMessage",
+    "ProtocolInferenceEngine",
+    "ProtocolSpec",
+]

@@ -1,0 +1,119 @@
+"""AMQP 0-9-1 (RabbitMQ) — message-queue protocol for the §4.1.3 case.
+
+Real AMQP framing: frame type (1=method), 16-bit channel, 32-bit size,
+payload, 0xCE frame-end octet.  Method payloads carry (class-id,
+method-id); we implement the basic.publish / basic.ack pair used by the
+RabbitMQ backlog case study, matched by delivery tag on a channel.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+FRAME_METHOD = 1
+FRAME_END = 0xCE
+
+CLASS_BASIC = 60
+METHOD_PUBLISH = 40
+METHOD_ACK = 80
+METHOD_NACK = 120
+METHOD_DELIVER = 60
+
+
+def _frame(channel: int, payload: bytes) -> bytes:
+    return (struct.pack(">BHI", FRAME_METHOD, channel, len(payload))
+            + payload + bytes([FRAME_END]))
+
+
+def encode_publish(channel: int, delivery_tag: int, queue: str,
+                   body: bytes = b"") -> bytes:
+    """Serialize basic.publish carrying a delivery tag and queue name."""
+    queue_raw = queue.encode()
+    payload = struct.pack(">HHQB", CLASS_BASIC, METHOD_PUBLISH,
+                          delivery_tag, len(queue_raw))
+    payload += queue_raw + body
+    return _frame(channel, payload)
+
+
+def encode_ack(channel: int, delivery_tag: int) -> bytes:
+    """Serialize basic.ack for *delivery_tag*."""
+    payload = struct.pack(">HHQ", CLASS_BASIC, METHOD_ACK, delivery_tag)
+    return _frame(channel, payload)
+
+
+def encode_nack(channel: int, delivery_tag: int) -> bytes:
+    """Serialize basic.nack (broker could not enqueue)."""
+    payload = struct.pack(">HHQ", CLASS_BASIC, METHOD_NACK, delivery_tag)
+    return _frame(channel, payload)
+
+
+def encode_deliver(channel: int, delivery_tag: int, queue: str,
+                   body: bytes = b"") -> bytes:
+    """Serialize basic.deliver — broker pushing a message to a consumer.
+
+    Carries the *original* delivery tag of the publish, which is what
+    lets the queue-relay trace extension pair the two sides of the queue
+    (see ``repro.server.assembler``, rule R11).
+    """
+    queue_raw = queue.encode()
+    payload = struct.pack(">HHQB", CLASS_BASIC, METHOD_DELIVER,
+                          delivery_tag, len(queue_raw))
+    payload += queue_raw + body
+    return _frame(channel, payload)
+
+
+class AmqpSpec(ProtocolSpec):
+    """AMQP 0-9-1 inference + parsing."""
+    name = "amqp"
+    multiplexed = True
+    default_port = 5672
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if len(payload) < 12 or payload[0] != FRAME_METHOD:
+            return False
+        _type, _channel, size = struct.unpack(">BHI", payload[:7])
+        return (len(payload) >= 8 + size
+                and payload[7 + size] == FRAME_END)
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        if len(payload) < 12 or payload[0] != FRAME_METHOD:
+            return None
+        _type, channel, size = struct.unpack(">BHI", payload[:7])
+        if len(payload) < 8 + size or payload[7 + size] != FRAME_END:
+            return None
+        body = payload[7:7 + size]
+        if len(body) < 12:
+            return None
+        class_id, method_id = struct.unpack(">HH", body[:4])
+        if class_id != CLASS_BASIC:
+            return None
+        if method_id in (METHOD_PUBLISH, METHOD_DELIVER):
+            delivery_tag, queue_len = struct.unpack(">QB", body[4:13])
+            queue = body[13:13 + queue_len].decode("utf-8", errors="replace")
+            operation = ("basic.publish" if method_id == METHOD_PUBLISH
+                         else "basic.deliver")
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.REQUEST,
+                operation=operation,
+                resource=queue,
+                stream_id=(channel << 32) | (delivery_tag & 0xFFFFFFFF),
+                size=len(payload),
+            )
+        if method_id in (METHOD_ACK, METHOD_NACK):
+            delivery_tag = struct.unpack(">Q", body[4:12])[0]
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.RESPONSE,
+                operation="basic.ack" if method_id == METHOD_ACK
+                else "basic.nack",
+                status="ok" if method_id == METHOD_ACK else "error",
+                stream_id=(channel << 32) | (delivery_tag & 0xFFFFFFFF),
+                size=len(payload),
+            )
+        return None

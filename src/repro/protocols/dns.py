@@ -1,0 +1,145 @@
+"""DNS (RFC 1035) — the cluster-service protocol (CoreDNS in the survey).
+
+Real wire format: 12-byte header, QNAME label encoding.  A *parallel*
+protocol: the 16-bit transaction ID in the header pairs a response with its
+request (§3.3.1: "IDs in DNS headers").
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+QTYPE_A = 1
+QTYPE_AAAA = 28
+QTYPE_SRV = 33
+
+_QTYPE_NAMES = {QTYPE_A: "A", QTYPE_AAAA: "AAAA", QTYPE_SRV: "SRV"}
+
+RCODE_OK = 0
+RCODE_NXDOMAIN = 3
+RCODE_SERVFAIL = 2
+
+
+def _encode_qname(domain: str) -> bytes:
+    out = b""
+    for label in domain.strip(".").split("."):
+        raw = label.encode("ascii")
+        out += bytes([len(raw)]) + raw
+    return out + b"\x00"
+
+
+def _decode_qname(data: bytes, offset: int) -> tuple[str, int]:
+    labels = []
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated qname")
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            break
+        labels.append(data[offset:offset + length].decode("ascii"))
+        offset += length
+    return ".".join(labels), offset
+
+
+def encode_query(txn_id: int, domain: str, qtype: int = QTYPE_A) -> bytes:
+    """Serialize a DNS query."""
+    header = struct.pack(">HHHHHH", txn_id, 0x0100, 1, 0, 0, 0)
+    question = _encode_qname(domain) + struct.pack(">HH", qtype, 1)
+    return header + question
+
+
+def encode_response(txn_id: int, domain: str, address: str = "",
+                    rcode: int = RCODE_OK, qtype: int = QTYPE_A) -> bytes:
+    """Serialize a DNS response (one A record, or an error rcode)."""
+    ancount = 1 if address and rcode == RCODE_OK else 0
+    flags = 0x8180 | (rcode & 0xF)
+    header = struct.pack(">HHHHHH", txn_id, flags, 1, ancount, 0, 0)
+    question = _encode_qname(domain) + struct.pack(">HH", qtype, 1)
+    answer = b""
+    if ancount:
+        octets = bytes(int(part) for part in address.split("."))
+        answer = (_encode_qname(domain) + struct.pack(">HHIH", qtype, 1, 60,
+                                                      len(octets)) + octets)
+    return header + question + answer
+
+
+def decode_address(payload: bytes) -> Optional[str]:
+    """Extract the first A-record address from a response payload."""
+    try:
+        _txn, flags, qdcount, ancount = struct.unpack(">HHHH", payload[:8])
+        if not (flags & 0x8000) or ancount == 0:
+            return None
+        offset = 12
+        for _ in range(qdcount):
+            _domain, offset = _decode_qname(payload, offset)
+            offset += 4
+        _domain, offset = _decode_qname(payload, offset)
+        _qtype, _qclass, _ttl, rdlength = struct.unpack(
+            ">HHIH", payload[offset:offset + 10])
+        offset += 10
+        octets = payload[offset:offset + rdlength]
+        return ".".join(str(b) for b in octets)
+    except Exception:  # noqa: BLE001
+        return None
+
+
+class DnsSpec(ProtocolSpec):
+    """DNS inference + parsing."""
+    name = "dns"
+    multiplexed = True
+    default_port = 53
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if len(payload) < 12:
+            return False
+        _txn, flags, qdcount, ancount, nscount, arcount = struct.unpack(
+            ">HHHHHH", payload[:12])
+        opcode = (flags >> 11) & 0xF
+        if opcode != 0 or not 1 <= qdcount <= 4:
+            return False
+        if max(ancount, nscount, arcount) > 32:
+            return False
+        try:
+            _domain, offset = _decode_qname(payload, 12)
+            qtype, qclass = struct.unpack(">HH", payload[offset:offset + 4])
+        except Exception:  # noqa: BLE001 - malformed question section
+            return False
+        return qclass == 1 and 1 <= qtype <= 255
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        if len(payload) < 12:
+            return None
+        try:
+            txn_id, flags, qdcount = struct.unpack(">HHH", payload[:6])
+            domain, offset = _decode_qname(payload, 12)
+            qtype, _qclass = struct.unpack(">HH", payload[offset:offset + 4])
+        except Exception:  # noqa: BLE001
+            return None
+        is_response = bool(flags & 0x8000)
+        rcode = flags & 0xF
+        qtype_name = _QTYPE_NAMES.get(qtype, str(qtype))
+        if is_response:
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.RESPONSE,
+                operation=qtype_name,
+                resource=domain,
+                status="ok" if rcode == RCODE_OK else "error",
+                status_code=rcode,
+                stream_id=txn_id,
+                size=len(payload),
+            )
+        return ParsedMessage(
+            protocol=self.name,
+            msg_type=MessageType.REQUEST,
+            operation=qtype_name,
+            resource=domain,
+            stream_id=txn_id,
+            size=len(payload),
+        )

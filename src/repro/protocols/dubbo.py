@@ -1,0 +1,73 @@
+"""Apache Dubbo RPC protocol — a parallel protocol keyed by request id.
+
+Real 16-byte header: magic 0xdabb, flag byte (request bit, two-way bit),
+status byte, 64-bit request id, 32-bit body length.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+MAGIC = 0xDABB
+FLAG_REQUEST = 0x80
+FLAG_TWOWAY = 0x40
+
+STATUS_OK = 20
+STATUS_SERVER_ERROR = 80
+STATUS_TIMEOUT = 31
+
+
+def encode_request(request_id: int, service: str, method: str) -> bytes:
+    """Serialize a Dubbo two-way request."""
+    body = f"{service}#{method}".encode()
+    header = struct.pack(">HBBQI", MAGIC, FLAG_REQUEST | FLAG_TWOWAY, 0,
+                         request_id, len(body))
+    return header + body
+
+
+def encode_response(request_id: int, status: int = STATUS_OK,
+                    body: bytes = b"") -> bytes:
+    """Serialize a Dubbo response."""
+    header = struct.pack(">HBBQI", MAGIC, 0, status, request_id, len(body))
+    return header + body
+
+
+class DubboSpec(ProtocolSpec):
+    """Dubbo inference + parsing."""
+    name = "dubbo"
+    multiplexed = True
+    default_port = 20880
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        return len(payload) >= 16 and payload[:2] == b"\xda\xbb"
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        if len(payload) < 16 or payload[:2] != b"\xda\xbb":
+            return None
+        _magic, flags, status, request_id, body_len = struct.unpack(
+            ">HBBQI", payload[:16])
+        body = payload[16:16 + body_len]
+        if flags & FLAG_REQUEST:
+            service, _, method = body.decode(
+                "utf-8", errors="replace").partition("#")
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.REQUEST,
+                operation=method or "invoke",
+                resource=service,
+                stream_id=request_id,
+                size=len(payload),
+            )
+        return ParsedMessage(
+            protocol=self.name,
+            msg_type=MessageType.RESPONSE,
+            status="ok" if status == STATUS_OK else "error",
+            status_code=status,
+            stream_id=request_id,
+            size=len(payload),
+        )

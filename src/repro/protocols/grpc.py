@@ -1,0 +1,142 @@
+"""gRPC over HTTP/2 — the de-facto microservice RPC format.
+
+Real layering: requests are HTTP/2 HEADERS (``:method: POST``, ``:path:
+/package.Service/Method``, ``content-type: application/grpc``) followed
+by a DATA frame carrying the 5-byte length-prefixed message; responses
+end with a trailing HEADERS frame carrying ``grpc-status``.
+
+A *parallel* protocol like its transport: stream ids pair requests with
+responses.  The spec must be tried before plain HTTP/2 during inference —
+a gRPC exchange is also valid HTTP/2, but carries richer semantics
+(method/service split, grpc-status error codes).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols import http2
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+CONTENT_TYPE = "application/grpc"
+
+#: Canonical gRPC status codes (subset).
+OK = 0
+INVALID_ARGUMENT = 3
+NOT_FOUND = 5
+INTERNAL = 13
+UNAVAILABLE = 14
+
+_STATUS_NAMES = {OK: "OK", INVALID_ARGUMENT: "INVALID_ARGUMENT",
+                 NOT_FOUND: "NOT_FOUND", INTERNAL: "INTERNAL",
+                 UNAVAILABLE: "UNAVAILABLE"}
+
+
+def _length_prefixed(message: bytes) -> bytes:
+    return struct.pack(">BI", 0, len(message)) + message
+
+
+def encode_request(service: str, method: str, stream_id: int,
+                   message: bytes = b"",
+                   with_preface: bool = False) -> bytes:
+    """Serialize one unary gRPC request."""
+    headers = {":method": "POST", ":path": f"/{service}/{method}",
+               ":scheme": "http", "content-type": CONTENT_TYPE,
+               "te": "trailers"}
+    out = http2._frame(http2.FRAME_HEADERS, http2.FLAG_END_HEADERS,
+                       stream_id, http2._headers_block(headers))
+    out += http2._frame(http2.FRAME_DATA, 0, stream_id,
+                        _length_prefixed(message))
+    if with_preface:
+        return http2.PREFACE + out
+    return out
+
+
+def encode_response(stream_id: int, grpc_status: int = OK,
+                    message: bytes = b"") -> bytes:
+    """Serialize one unary gRPC response with trailers."""
+    initial = {":status": "200", "content-type": CONTENT_TYPE}
+    out = http2._frame(http2.FRAME_HEADERS, http2.FLAG_END_HEADERS,
+                       stream_id, http2._headers_block(initial))
+    if message:
+        out += http2._frame(http2.FRAME_DATA, 0, stream_id,
+                            _length_prefixed(message))
+    trailers = {"grpc-status": str(grpc_status),
+                "grpc-message": _STATUS_NAMES.get(grpc_status, "")}
+    out += http2._frame(http2.FRAME_HEADERS,
+                        http2.FLAG_END_HEADERS | http2.FLAG_END_STREAM,
+                        stream_id, http2._headers_block(trailers))
+    return out
+
+
+def _walk_header_blocks(payload: bytes) -> list[tuple[int, dict]]:
+    """All (stream_id, headers) blocks in a frame sequence."""
+    data = payload
+    if data.startswith(http2.PREFACE):
+        data = data[len(http2.PREFACE):]
+    blocks = []
+    offset = 0
+    while offset + 9 <= len(data):
+        length = int.from_bytes(data[offset:offset + 3], "big")
+        frame_type, _flags, stream_id = struct.unpack(
+            ">BBI", data[offset + 3:offset + 9])
+        if offset + 9 + length > len(data):
+            break
+        if frame_type == http2.FRAME_HEADERS:
+            blocks.append((stream_id & 0x7FFFFFFF,
+                           http2._parse_headers_block(
+                               data[offset + 9:offset + 9 + length])))
+        offset += 9 + length
+    return blocks
+
+
+class GrpcSpec(ProtocolSpec):
+    """gRPC-over-HTTP/2 inference + parsing."""
+    name = "grpc"
+    multiplexed = True
+    default_port = 50051
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if not http2.Http2Spec().infer(payload):
+            return False
+        blocks = _walk_header_blocks(payload)
+        return any(headers.get("content-type") == CONTENT_TYPE
+                   for _stream, headers in blocks)
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        blocks = _walk_header_blocks(payload)
+        if not blocks:
+            return None
+        stream_id, first = blocks[0]
+        if first.get(":method") == "POST" and ":path" in first:
+            path = first[":path"]
+            service, _, method = path.lstrip("/").partition("/")
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.REQUEST,
+                operation=method or "call",
+                resource=service,
+                stream_id=stream_id,
+                headers=first,
+                size=len(payload),
+            )
+        if ":status" in first:
+            grpc_status = OK
+            for _stream, headers in blocks:
+                if "grpc-status" in headers:
+                    value = headers["grpc-status"]
+                    if value.isdigit():
+                        grpc_status = int(value)
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.RESPONSE,
+                status="ok" if grpc_status == OK else "error",
+                status_code=grpc_status,
+                stream_id=stream_id,
+                headers=first,
+                size=len(payload),
+            )
+        return None

@@ -1,0 +1,121 @@
+"""HTTP/1.1 (RFC 7231) — the workhorse pipeline protocol.
+
+Real textual wire format.  Headers are significant to the reproduction:
+``X-Request-ID`` (inserted by Nginx/Envoy/HAProxy, used for cross-thread
+intra-component association, §3.3.2), ``traceparent`` (W3C) and ``b3``
+(Zipkin) for third-party span integration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+METHODS = ("GET", "POST", "PUT", "DELETE", "HEAD", "PATCH", "OPTIONS")
+
+_CRLF = "\r\n"
+
+
+def encode_request(method: str, path: str,
+                   headers: Optional[dict[str, str]] = None,
+                   body: bytes = b"", host: str = "") -> bytes:
+    """Serialize an HTTP/1.1 request."""
+    lines = [f"{method} {path} HTTP/1.1"]
+    merged = {"Host": host or "service"}
+    merged.update(headers or {})
+    merged["Content-Length"] = str(len(body))
+    for key, value in merged.items():
+        lines.append(f"{key}: {value}")
+    head = _CRLF.join(lines) + _CRLF + _CRLF
+    return head.encode("ascii") + body
+
+
+def encode_response(status_code: int, reason: str = "",
+                    headers: Optional[dict[str, str]] = None,
+                    body: bytes = b"") -> bytes:
+    """Serialize an HTTP/1.1 response."""
+    reason = reason or _default_reason(status_code)
+    lines = [f"HTTP/1.1 {status_code} {reason}"]
+    merged = dict(headers or {})
+    merged["Content-Length"] = str(len(body))
+    for key, value in merged.items():
+        lines.append(f"{key}: {value}")
+    head = _CRLF.join(lines) + _CRLF + _CRLF
+    return head.encode("ascii") + body
+
+
+def _default_reason(status_code: int) -> str:
+    return {
+        200: "OK", 201: "Created", 204: "No Content",
+        301: "Moved Permanently", 302: "Found",
+        400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+        404: "Not Found", 408: "Request Timeout", 429: "Too Many Requests",
+        500: "Internal Server Error", 502: "Bad Gateway",
+        503: "Service Unavailable", 504: "Gateway Timeout",
+    }.get(status_code, "Unknown")
+
+
+def _parse_headers(block: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in block:
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return headers
+
+
+class Http1Spec(ProtocolSpec):
+    """HTTP/1.1 inference + parsing."""
+    name = "http"
+    multiplexed = False
+    default_port = 80
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if payload.startswith(b"HTTP/1."):
+            return True
+        head = payload.split(b" ", 1)[0]
+        try:
+            return head.decode("ascii") in METHODS
+        except UnicodeDecodeError:
+            return False
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        try:
+            head, _, _body = payload.partition(b"\r\n\r\n")
+            lines = head.decode("ascii", errors="replace").split(_CRLF)
+        except Exception:  # noqa: BLE001 - malformed payload
+            return None
+        if not lines or not lines[0]:
+            return None
+        start = lines[0]
+        headers = _parse_headers(lines[1:])
+        if start.startswith("HTTP/1."):
+            parts = start.split(" ", 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                return None
+            code = int(parts[1])
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.RESPONSE,
+                operation="",
+                status="ok" if code < 400 else "error",
+                status_code=code,
+                headers=headers,
+                size=len(payload),
+            )
+        parts = start.split(" ")
+        if len(parts) != 3 or parts[0] not in METHODS:
+            return None
+        method, path, _version = parts
+        return ParsedMessage(
+            protocol=self.name,
+            msg_type=MessageType.REQUEST,
+            operation=method,
+            resource=path,
+            headers=headers,
+            size=len(payload),
+        )

@@ -1,0 +1,141 @@
+"""HTTP/2 (RFC 7540) — frames with stream identifiers.
+
+A *parallel* protocol: many requests multiplex one connection, and session
+aggregation pairs request and response by the embedded stream identifier
+(§3.3.1: "stream identifiers in HTTP/2 headers").
+
+The frame layout is the real 9-byte RFC 7540 header (length, type, flags,
+stream id).  One documented simplification: the header block inside a
+HEADERS frame uses a plain ``name: value`` text encoding instead of HPACK —
+HPACK is pure compression and plays no role in any mechanism the paper
+relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+PREFACE = b"PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+
+FRAME_DATA = 0x0
+FRAME_HEADERS = 0x1
+
+FLAG_END_STREAM = 0x1
+FLAG_END_HEADERS = 0x4
+
+
+def _frame(frame_type: int, flags: int, stream_id: int,
+           payload: bytes) -> bytes:
+    header = struct.pack(">I", len(payload))[1:]  # 24-bit length
+    header += struct.pack(">BBI", frame_type, flags, stream_id & 0x7FFFFFFF)
+    return header + payload
+
+
+def _headers_block(headers: dict[str, str]) -> bytes:
+    return "\r\n".join(f"{k}: {v}" for k, v in headers.items()).encode()
+
+
+def _parse_headers_block(block: bytes) -> dict[str, str]:
+    headers = {}
+    for line in block.decode("utf-8", errors="replace").split("\r\n"):
+        if ":" in line[1:]:  # allow pseudo-headers starting with ':'
+            key, _, value = line[1:].partition(":")
+            headers[(line[0] + key).strip().lower()] = value.strip()
+    return headers
+
+
+def encode_request(method: str, path: str, stream_id: int,
+                   headers: Optional[dict[str, str]] = None,
+                   body: bytes = b"", with_preface: bool = False) -> bytes:
+    """Serialize one HTTP/2 request (HEADERS [+ DATA]) on *stream_id*."""
+    merged = {":method": method, ":path": path, ":scheme": "http"}
+    merged.update(headers or {})
+    flags = FLAG_END_HEADERS | (0 if body else FLAG_END_STREAM)
+    out = _frame(FRAME_HEADERS, flags, stream_id, _headers_block(merged))
+    if body:
+        out += _frame(FRAME_DATA, FLAG_END_STREAM, stream_id, body)
+    return (PREFACE + out) if with_preface else out
+
+
+def encode_response(status_code: int, stream_id: int,
+                    headers: Optional[dict[str, str]] = None,
+                    body: bytes = b"") -> bytes:
+    """Serialize one HTTP/2 response on *stream_id*."""
+    merged = {":status": str(status_code)}
+    merged.update(headers or {})
+    flags = FLAG_END_HEADERS | (0 if body else FLAG_END_STREAM)
+    out = _frame(FRAME_HEADERS, flags, stream_id, _headers_block(merged))
+    if body:
+        out += _frame(FRAME_DATA, FLAG_END_STREAM, stream_id, body)
+    return out
+
+
+class Http2Spec(ProtocolSpec):
+    """HTTP/2 inference + parsing."""
+    name = "http2"
+    multiplexed = True
+    default_port = 8443
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if payload.startswith(PREFACE):
+            return True
+        return self._valid_frame_sequence(payload)
+
+    @staticmethod
+    def _valid_frame_sequence(payload: bytes) -> bool:
+        """True iff the payload is exactly a sequence of known frames."""
+        offset = 0
+        frames = 0
+        while offset < len(payload):
+            if len(payload) - offset < 9:
+                return False
+            length = int.from_bytes(payload[offset:offset + 3], "big")
+            frame_type = payload[offset + 3]
+            if frame_type not in (FRAME_DATA, FRAME_HEADERS):
+                return False
+            offset += 9 + length
+            frames += 1
+        return frames >= 1 and offset == len(payload)
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        data = payload
+        if data.startswith(PREFACE):
+            data = data[len(PREFACE):]
+        if len(data) < 9:
+            return None
+        length = int.from_bytes(data[:3], "big")
+        frame_type, _flags, stream_id = struct.unpack(">BBI", data[3:9])
+        stream_id &= 0x7FFFFFFF
+        if frame_type != FRAME_HEADERS:
+            return None  # continuation/data-only segment
+        block = data[9:9 + length]
+        headers = _parse_headers_block(block)
+        if ":status" in headers:
+            if not headers[":status"].isdigit():
+                return None  # corrupted header block
+            code = int(headers[":status"])
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.RESPONSE,
+                status="ok" if code < 400 else "error",
+                status_code=code,
+                stream_id=stream_id,
+                headers=headers,
+                size=len(payload),
+            )
+        if ":method" in headers:
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.REQUEST,
+                operation=headers[":method"],
+                resource=headers.get(":path", ""),
+                stream_id=stream_id,
+                headers=headers,
+                size=len(payload),
+            )
+        return None

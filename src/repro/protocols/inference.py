@@ -1,0 +1,89 @@
+"""Per-connection protocol inference (Figure 6, phase 2).
+
+The agent "iterates through the common protocol specifications and the
+optional user-supplied protocol specifications, executing a one-time
+protocol inference for each newly established connection" (§3.3.1).
+
+Inference is sticky: once a connection is classified, subsequent payloads
+are parsed with the chosen spec only.  Payloads seen before a successful
+classification (e.g. a body continuation first observed mid-connection)
+stay unclassified and surface as opaque messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.protocols.amqp import AmqpSpec
+from repro.protocols.base import ParsedMessage, ProtocolSpec
+from repro.protocols.dns import DnsSpec
+from repro.protocols.dubbo import DubboSpec
+from repro.protocols.grpc import GrpcSpec
+from repro.protocols.http1 import Http1Spec
+from repro.protocols.http2 import Http2Spec
+from repro.protocols.kafka import KafkaSpec
+from repro.protocols.mqtt import MqttSpec
+from repro.protocols.mysql import MysqlSpec
+from repro.protocols.redis import RedisSpec
+from repro.protocols.tls import TlsSpec
+
+#: Common specs, tried in order.  More-distinctive formats come first so
+#: that permissive ones (HTTP/1's text heuristic) cannot shadow them;
+#: gRPC precedes plain HTTP/2 because every gRPC exchange is also valid
+#: HTTP/2.
+DEFAULT_SPECS: tuple[ProtocolSpec, ...] = (
+    GrpcSpec(),
+    Http2Spec(),
+    DubboSpec(),
+    AmqpSpec(),
+    TlsSpec(),
+    DnsSpec(),
+    MysqlSpec(),
+    KafkaSpec(),
+    MqttSpec(),
+    RedisSpec(),
+    Http1Spec(),
+)
+
+
+class ProtocolInferenceEngine:
+    """Sticky per-connection protocol classification + parsing."""
+
+    def __init__(self, user_specs: Optional[Iterable[ProtocolSpec]] = None,
+                 specs: Optional[Iterable[ProtocolSpec]] = None):
+        base = tuple(specs) if specs is not None else DEFAULT_SPECS
+        self._specs: tuple[ProtocolSpec, ...] = (
+            tuple(user_specs or ()) + base)
+        self._by_connection: dict[int, ProtocolSpec] = {}
+        self.inference_attempts = 0
+
+    def spec_for(self, socket_id: int) -> Optional[ProtocolSpec]:
+        """The spec previously inferred for this connection, if any."""
+        return self._by_connection.get(socket_id)
+
+    def classify(self, socket_id: int,
+                 payload: bytes) -> Optional[ProtocolSpec]:
+        """One-time inference for a connection; sticky once successful."""
+        spec = self._by_connection.get(socket_id)
+        if spec is not None:
+            return spec
+        self.inference_attempts += 1
+        for candidate in self._specs:
+            if candidate.infer(payload):
+                self._by_connection[socket_id] = candidate
+                return candidate
+        return None
+
+    def parse(self, socket_id: int,
+              payload: bytes) -> Optional[ParsedMessage]:
+        """Classify (if needed) then parse; None for continuations."""
+        if not payload:
+            return None
+        spec = self.classify(socket_id, payload)
+        if spec is None:
+            return None
+        return spec.parse(payload)
+
+    def forget(self, socket_id: int) -> None:
+        """Drop the classification (connection closed)."""
+        self._by_connection.pop(socket_id, None)

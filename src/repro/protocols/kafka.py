@@ -1,0 +1,105 @@
+"""Kafka wire protocol — a parallel protocol keyed by correlation id.
+
+Real framing: 4-byte size prefix; requests carry api_key, api_version,
+correlation_id, and a client-id string; responses echo the correlation id.
+Session aggregation pairs them by that id (§3.3.1, parallel protocols).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+API_PRODUCE = 0
+API_FETCH = 1
+API_METADATA = 3
+
+_API_NAMES = {API_PRODUCE: "Produce", API_FETCH: "Fetch",
+              API_METADATA: "Metadata"}
+
+#: Error codes (subset).
+ERROR_NONE = 0
+ERROR_UNKNOWN_TOPIC = 3
+ERROR_REQUEST_TIMED_OUT = 7
+
+
+def encode_request(api_key: int, correlation_id: int, topic: str,
+                   client_id: str = "repro") -> bytes:
+    """Serialize a Kafka request frame."""
+    client = client_id.encode()
+    topic_raw = topic.encode()
+    body = struct.pack(">hhih", api_key, 1, correlation_id, len(client))
+    body += client
+    body += struct.pack(">h", len(topic_raw)) + topic_raw
+    return struct.pack(">i", len(body)) + body
+
+
+def encode_response(correlation_id: int,
+                    error_code: int = ERROR_NONE) -> bytes:
+    """Serialize a Kafka response frame."""
+    body = struct.pack(">ih", correlation_id, error_code)
+    return struct.pack(">i", len(body)) + body
+
+
+class KafkaSpec(ProtocolSpec):
+    """Kafka inference + parsing."""
+    name = "kafka"
+    multiplexed = True
+    default_port = 9092
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if len(payload) < 8:
+            return False
+        size = struct.unpack(">i", payload[:4])[0]
+        if size != len(payload) - 4:
+            return False
+        # Requests: plausible api_key/api_version at the front of the body.
+        api_key, api_version = struct.unpack(">hh", payload[4:8])
+        if (0 <= api_key <= 67 and 0 <= api_version <= 15
+                and len(payload) >= 14):
+            return True
+        # Responses: correlation id only; size check must carry the weight.
+        return size >= 6
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        if len(payload) < 10:
+            return None
+        size = struct.unpack(">i", payload[:4])[0]
+        if size != len(payload) - 4:
+            return None
+        body = payload[4:]
+        # Try request layout first.
+        if len(body) >= 10:
+            api_key, api_version, correlation_id, client_len = struct.unpack(
+                ">hhih", body[:10])
+            if (0 <= api_key <= 67 and 0 <= api_version <= 15
+                    and 0 <= client_len <= 255
+                    and 10 + client_len + 2 <= len(body)):
+                offset = 10 + client_len
+                topic_len = struct.unpack(">h", body[offset:offset + 2])[0]
+                topic = body[offset + 2:offset + 2 + topic_len].decode(
+                    "utf-8", errors="replace")
+                return ParsedMessage(
+                    protocol=self.name,
+                    msg_type=MessageType.REQUEST,
+                    operation=_API_NAMES.get(api_key, f"Api{api_key}"),
+                    resource=topic,
+                    stream_id=correlation_id,
+                    size=len(payload),
+                )
+        # Response layout: correlation id + error code.
+        if len(body) >= 6:
+            correlation_id, error_code = struct.unpack(">ih", body[:6])
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.RESPONSE,
+                status="ok" if error_code == ERROR_NONE else "error",
+                status_code=error_code,
+                stream_id=correlation_id,
+                size=len(payload),
+            )
+        return None

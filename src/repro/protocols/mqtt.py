@@ -1,0 +1,167 @@
+"""MQTT v3.1 — a parallel protocol keyed by packet identifier.
+
+Real fixed-header framing (packet type in the high nibble, remaining-length
+varint).  QoS-1 PUBLISH/PUBACK and SUBSCRIBE/SUBACK pairs carry a 16-bit
+packet identifier which session aggregation uses for request/response
+matching.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+CONNECT = 1
+CONNACK = 2
+PUBLISH = 3
+PUBACK = 4
+SUBSCRIBE = 8
+SUBACK = 9
+PINGREQ = 12
+PINGRESP = 13
+
+_REQUESTS = {CONNECT: "CONNECT", PUBLISH: "PUBLISH",
+             SUBSCRIBE: "SUBSCRIBE", PINGREQ: "PINGREQ"}
+_RESPONSES = {CONNACK: "CONNACK", PUBACK: "PUBACK", SUBACK: "SUBACK",
+              PINGRESP: "PINGRESP"}
+
+
+def _remaining_length(n: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = n % 128
+        n //= 128
+        out.append(byte | (0x80 if n else 0))
+        if not n:
+            return bytes(out)
+
+
+def _decode_remaining_length(data: bytes, offset: int) -> tuple[int, int]:
+    value, multiplier = 0, 1
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        value += (byte & 0x7F) * multiplier
+        if not byte & 0x80:
+            return value, offset
+        multiplier *= 128
+
+
+def encode_publish(packet_id: int, topic: str, payload: bytes = b"",
+                   qos: int = 1) -> bytes:
+    """Serialize a PUBLISH packet (QoS 1 carries a packet id)."""
+    topic_raw = topic.encode()
+    variable = struct.pack(">H", len(topic_raw)) + topic_raw
+    if qos > 0:
+        variable += struct.pack(">H", packet_id)
+    body = variable + payload
+    fixed = bytes([(PUBLISH << 4) | (qos << 1)])
+    return fixed + _remaining_length(len(body)) + body
+
+
+def encode_puback(packet_id: int, success: bool = True) -> bytes:
+    """Serialize a PUBACK packet (return code nonzero signals failure)."""
+    body = struct.pack(">HB", packet_id, 0 if success else 0x80)
+    return bytes([PUBACK << 4]) + _remaining_length(len(body)) + body
+
+
+def encode_subscribe(packet_id: int, topic: str) -> bytes:
+    """Serialize a SUBSCRIBE packet."""
+    topic_raw = topic.encode()
+    body = struct.pack(">H", packet_id)
+    body += struct.pack(">H", len(topic_raw)) + topic_raw + b"\x01"
+    return bytes([(SUBSCRIBE << 4) | 0x02]) + _remaining_length(
+        len(body)) + body
+
+
+def encode_suback(packet_id: int, granted_qos: int = 1) -> bytes:
+    """Serialize a SUBACK packet."""
+    body = struct.pack(">HB", packet_id, granted_qos)
+    return bytes([SUBACK << 4]) + _remaining_length(len(body)) + body
+
+
+class MqttSpec(ProtocolSpec):
+    """MQTT inference + parsing."""
+    name = "mqtt"
+    multiplexed = True
+    default_port = 1883
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if len(payload) < 2:
+            return False
+        packet_type = payload[0] >> 4
+        if packet_type not in (_REQUESTS | _RESPONSES):
+            return False
+        try:
+            remaining, offset = _decode_remaining_length(payload, 1)
+        except ValueError:
+            return False
+        return offset + remaining == len(payload)
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        try:
+            return self._parse(payload)
+        except (ValueError, struct.error, IndexError):
+            return None  # truncated or malformed packet
+
+    def _parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        if len(payload) < 2:
+            return None
+        packet_type = payload[0] >> 4
+        qos = (payload[0] >> 1) & 0x3
+        remaining, offset = _decode_remaining_length(payload, 1)
+        body = payload[offset:offset + remaining]
+        if packet_type == PUBLISH:
+            topic_len = struct.unpack(">H", body[:2])[0]
+            topic = body[2:2 + topic_len].decode("utf-8", errors="replace")
+            packet_id = None
+            if qos > 0:
+                packet_id = struct.unpack(
+                    ">H", body[2 + topic_len:4 + topic_len])[0]
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.REQUEST,
+                operation="PUBLISH",
+                resource=topic,
+                stream_id=packet_id,
+                size=len(payload),
+            )
+        if packet_type == SUBSCRIBE:
+            packet_id = struct.unpack(">H", body[:2])[0]
+            topic_len = struct.unpack(">H", body[2:4])[0]
+            topic = body[4:4 + topic_len].decode("utf-8", errors="replace")
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.REQUEST,
+                operation="SUBSCRIBE",
+                resource=topic,
+                stream_id=packet_id,
+                size=len(payload),
+            )
+        if packet_type in (PUBACK, SUBACK):
+            packet_id = struct.unpack(">H", body[:2])[0]
+            failed = len(body) > 2 and body[2] >= 0x80
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.RESPONSE,
+                operation=_RESPONSES[packet_type],
+                status="error" if failed else "ok",
+                stream_id=packet_id,
+                size=len(payload),
+            )
+        if packet_type in _REQUESTS:
+            return ParsedMessage(
+                protocol=self.name, msg_type=MessageType.REQUEST,
+                operation=_REQUESTS[packet_type], size=len(payload))
+        if packet_type in _RESPONSES:
+            return ParsedMessage(
+                protocol=self.name, msg_type=MessageType.RESPONSE,
+                operation=_RESPONSES[packet_type], status="ok",
+                size=len(payload))
+        return None

@@ -1,0 +1,121 @@
+"""MySQL client/server protocol — a pipeline protocol.
+
+Real packet framing: 3-byte little-endian payload length + 1-byte sequence
+id.  Requests are COM_QUERY (0x03) commands; responses are OK (0x00),
+ERR (0xff), or a result-set header.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+COM_QUERY = 0x03
+COM_PING = 0x0E
+
+OK_HEADER = 0x00
+ERR_HEADER = 0xFF
+
+
+def _packet(seq: int, payload: bytes) -> bytes:
+    return struct.pack("<I", len(payload))[:3] + bytes([seq]) + payload
+
+
+def encode_query(sql: str) -> bytes:
+    """Serialize a COM_QUERY request packet."""
+    return _packet(0, bytes([COM_QUERY]) + sql.encode("utf-8"))
+
+
+def encode_ok(affected_rows: int = 0) -> bytes:
+    """Serialize an OK response packet."""
+    return _packet(1, bytes([OK_HEADER, affected_rows & 0xFF, 0, 2, 0]))
+
+
+def encode_error(code: int = 1064, message: str = "syntax error") -> bytes:
+    """Serialize an ERR response packet."""
+    payload = bytes([ERR_HEADER]) + struct.pack("<H", code)
+    payload += b"#42000" + message.encode("utf-8")
+    return _packet(1, payload)
+
+
+def encode_resultset(column_count: int = 1, rows: int = 1) -> bytes:
+    """Serialize a (simplified, single-packet) result-set header."""
+    payload = bytes([column_count & 0xFF]) + struct.pack("<H", rows)
+    return _packet(1, payload)
+
+
+def _table_of(sql: str) -> str:
+    tokens = sql.replace(",", " ").split()
+    uppers = [token.upper() for token in tokens]
+    for keyword in ("FROM", "INTO", "UPDATE", "TABLE", "JOIN"):
+        if keyword in uppers:
+            index = uppers.index(keyword)
+            if index + 1 < len(tokens):
+                return tokens[index + 1].strip("`;")
+    return ""
+
+
+class MysqlSpec(ProtocolSpec):
+    """MySQL inference + parsing."""
+    name = "mysql"
+    multiplexed = False
+    default_port = 3306
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if len(payload) < 5:
+            return False
+        length = int.from_bytes(payload[:3], "little")
+        seq = payload[3]
+        if length == 0 or length + 4 != len(payload):
+            return False
+        command = payload[4]
+        if seq == 0:
+            return command in (COM_QUERY, COM_PING)
+        return command in (OK_HEADER, ERR_HEADER) or 1 <= command <= 250
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        if len(payload) < 5:
+            return None
+        length = int.from_bytes(payload[:3], "little")
+        if length + 4 != len(payload):
+            return None
+        seq = payload[3]
+        body = payload[4:]
+        if seq == 0 and body[0] == COM_QUERY:
+            sql = body[1:].decode("utf-8", errors="replace")
+            operation = sql.split(" ", 1)[0].upper() if sql else "QUERY"
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.REQUEST,
+                operation=operation,
+                resource=_table_of(sql),
+                size=len(payload),
+            )
+        if seq == 0 and body[0] == COM_PING:
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.REQUEST,
+                operation="PING",
+                size=len(payload),
+            )
+        if seq >= 1:
+            if body[0] == ERR_HEADER:
+                code = struct.unpack("<H", body[1:3])[0]
+                return ParsedMessage(
+                    protocol=self.name,
+                    msg_type=MessageType.RESPONSE,
+                    status="error",
+                    status_code=code,
+                    size=len(payload),
+                )
+            return ParsedMessage(
+                protocol=self.name,
+                msg_type=MessageType.RESPONSE,
+                status="ok",
+                size=len(payload),
+            )
+        return None

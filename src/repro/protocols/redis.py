@@ -1,0 +1,128 @@
+"""Redis RESP (REdis Serialization Protocol) — a pipeline protocol.
+
+Requests are arrays of bulk strings; responses are simple strings, errors,
+integers, or bulk strings.  Order within the connection pairs request and
+response (§3.3.1, pipeline matching).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+COMMANDS = ("GET", "SET", "DEL", "INCR", "EXPIRE", "HGET", "HSET",
+            "LPUSH", "RPOP", "PING", "MGET", "EXISTS")
+
+
+def encode_request(*args: str) -> bytes:
+    """Serialize a command as a RESP array of bulk strings."""
+    out = f"*{len(args)}\r\n".encode()
+    for arg in args:
+        raw = arg.encode()
+        out += b"$" + str(len(raw)).encode() + b"\r\n" + raw + b"\r\n"
+    return out
+
+
+def encode_response(value: Optional[str] = None, *, error: str = "",
+                    integer: Optional[int] = None) -> bytes:
+    """Serialize a RESP reply: +OK, -ERR ..., :n, or a bulk string."""
+    if error:
+        return f"-ERR {error}\r\n".encode()
+    if integer is not None:
+        return f":{integer}\r\n".encode()
+    if value is None:
+        return b"$-1\r\n"  # null bulk string
+    raw = value.encode()
+    if "\r" not in value and "\n" not in value and len(value) < 32:
+        return b"+" + raw + b"\r\n"
+    return b"$" + str(len(raw)).encode() + b"\r\n" + raw + b"\r\n"
+
+
+class RedisSpec(ProtocolSpec):
+    """RESP inference + parsing."""
+    name = "redis"
+    multiplexed = False
+    default_port = 6379
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if not payload or payload[:1] not in b"*+-:$":
+            return False
+        if payload.startswith(b"*"):
+            # Must look like an array header followed by a bulk string.
+            return b"\r\n$" in payload[:16]
+        return b"\r\n" in payload
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        if not payload:
+            return None
+        first = payload[:1]
+        if first == b"*":
+            return self._parse_request(payload)
+        if first in b"+-:$":
+            return self._parse_response(payload)
+        return None
+
+    def _parse_request(self, payload: bytes) -> Optional[ParsedMessage]:
+        try:
+            parts = self._decode_array(payload)
+        except ValueError:
+            return None
+        if not parts:
+            return None
+        command = parts[0].upper()
+        resource = parts[1] if len(parts) > 1 else ""
+        return ParsedMessage(
+            protocol=self.name,
+            msg_type=MessageType.REQUEST,
+            operation=command,
+            resource=resource,
+            size=len(payload),
+        )
+
+    def _parse_response(self, payload: bytes) -> ParsedMessage:
+        kind = payload[:1]
+        status = "error" if kind == b"-" else "ok"
+        return ParsedMessage(
+            protocol=self.name,
+            msg_type=MessageType.RESPONSE,
+            status=status,
+            size=len(payload),
+        )
+
+    @staticmethod
+    def _decode_array(payload: bytes) -> list[str]:
+        lines = payload.split(b"\r\n")
+        if not lines or not lines[0].startswith(b"*"):
+            raise ValueError("not a RESP array")
+        count = int(lines[0][1:])
+        parts: list[str] = []
+        index = 1
+        for _ in range(count):
+            if (index + 1 >= len(lines)
+                    or not lines[index].startswith(b"$")):
+                raise ValueError("malformed bulk string header")
+            parts.append(lines[index + 1].decode("utf-8", errors="replace"))
+            index += 2
+        return parts
+
+
+def decode_request(payload: bytes) -> list[str]:
+    """Decode a RESP array request into its argument list."""
+    return RedisSpec._decode_array(payload)
+
+
+def decode_response(payload: bytes) -> Optional[str]:
+    """Decode a simple/bulk string response value (None for null/error)."""
+    if payload.startswith(b"+"):
+        return payload[1:].split(b"\r\n")[0].decode()
+    if payload.startswith(b":"):
+        return payload[1:].split(b"\r\n")[0].decode()
+    if payload.startswith(b"$-1"):
+        return None
+    if payload.startswith(b"$"):
+        body = payload.split(b"\r\n", 1)[1]
+        return body.rsplit(b"\r\n", 1)[0].decode()
+    return None

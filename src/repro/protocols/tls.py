@@ -1,0 +1,67 @@
+"""TLS record wrapping — the opaque-payload case motivating uprobes.
+
+When a component speaks TLS, the syscall layer sees only ciphertext and
+protocol inference fails; DeepFlow's uprobe extension on ``ssl_read`` /
+``ssl_write`` recovers the plaintext before encryption (§3.2.1).  We model
+a TLS 1.3 application-data record (type 0x17, version 0x0303) whose body
+is reversibly obfuscated — enough to defeat every other parser while
+letting tests confirm nothing leaks.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+
+RECORD_APPLICATION_DATA = 0x17
+_XOR_KEY = 0x5A
+
+
+def encrypt(plaintext: bytes) -> bytes:
+    """Wrap *plaintext* in an application-data record (toy cipher)."""
+    body = bytes(byte ^ _XOR_KEY for byte in plaintext)
+    header = struct.pack(">BHH", RECORD_APPLICATION_DATA, 0x0303, len(body))
+    return header + body
+
+
+def decrypt(record: bytes) -> bytes:
+    """Inverse of :func:`encrypt`."""
+    record_type, _version, length = struct.unpack(">BHH", record[:5])
+    if record_type != RECORD_APPLICATION_DATA:
+        raise ValueError("not an application-data record")
+    body = record[5:5 + length]
+    return bytes(byte ^ _XOR_KEY for byte in body)
+
+
+class TlsSpec(ProtocolSpec):
+    """Recognizes TLS records but yields only an opaque marker message.
+
+    The agent uses this to know the connection is encrypted (and to fall
+    back to uprobe data when available) rather than to extract semantics.
+    """
+
+    name = "tls"
+    multiplexed = False
+    default_port = 443
+
+    def infer(self, payload: bytes) -> bool:
+        """Check whether *payload* plausibly starts this protocol."""
+        if len(payload) < 5:
+            return False
+        record_type, version, length = struct.unpack(">BHH", payload[:5])
+        return (record_type == RECORD_APPLICATION_DATA
+                and version in (0x0301, 0x0302, 0x0303, 0x0304)
+                and 5 + length == len(payload))
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        """Parse one message from *payload*; None when not parseable."""
+        if not self.infer(payload):
+            return None
+        return ParsedMessage(
+            protocol=self.name,
+            msg_type=MessageType.UNKNOWN,
+            operation="encrypted",
+            size=len(payload),
+        )

@@ -1,0 +1,155 @@
+"""Span database with association-key indexes.
+
+Backs Algorithm 1: every association identifier that the iterative search
+filters on (systrace_id, pseudo-thread, X-Request-ID, per-flow TCP
+sequence, third-party trace id) has a secondary index, and a time index
+supports span-list queries over a range (the Fig 15 workload).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.span import Span
+
+#: Protocols whose (resource, message id) pairs identify a message across
+#: a broker relay — the queue-tracing extension's association axis.
+QUEUE_RELAY_PROTOCOLS = ("amqp", "kafka", "mqtt")
+
+
+@dataclass
+class AssociationFilter:
+    """The filter built up by Algorithm 1 (lines 6–10)."""
+
+    span_ids: set[int] = field(default_factory=set)
+    systrace_ids: set[int] = field(default_factory=set)
+    pseudo_threads: set[tuple] = field(default_factory=set)
+    x_request_ids: set[str] = field(default_factory=set)
+    flow_seqs: set[tuple] = field(default_factory=set)  # (flow_key, seq)
+    otel_trace_ids: set[str] = field(default_factory=set)
+    #: (protocol, resource, message_id) — queue-relay extension.
+    message_keys: set[tuple] = field(default_factory=set)
+
+    def absorb(self, span: Span) -> None:
+        """Add one span's association keys to the filter."""
+        self.span_ids.add(span.span_id)
+        if span.systrace_id is not None:
+            self.systrace_ids.add(span.systrace_id)
+        if span.pseudo_thread_key:
+            self.pseudo_threads.add(span.pseudo_thread_key)
+        if span.x_request_id:
+            self.x_request_ids.add(span.x_request_id)
+        if span.flow_key is not None:
+            # Sequence numbers are per-direction counters, so the key
+            # carries which leg (request vs response) it refers to.
+            if span.req_tcp_seq is not None:
+                self.flow_seqs.add((span.flow_key, "q", span.req_tcp_seq))
+            if span.resp_tcp_seq is not None:
+                self.flow_seqs.add((span.flow_key, "p", span.resp_tcp_seq))
+        if span.otel_trace_id:
+            self.otel_trace_ids.add(span.otel_trace_id)
+        if (span.message_id is not None
+                and span.protocol in QUEUE_RELAY_PROTOCOLS):
+            self.message_keys.add(
+                (span.protocol, span.resource, span.message_id))
+
+
+class SpanStore:
+    """In-memory indexed span storage."""
+
+    def __init__(self) -> None:
+        self._spans: dict[int, Span] = {}
+        self._by_systrace: dict[int, set[int]] = {}
+        self._by_pthread: dict[tuple, set[int]] = {}
+        self._by_xreq: dict[str, set[int]] = {}
+        self._by_flow_seq: dict[tuple, set[int]] = {}
+        self._by_otel: dict[str, set[int]] = {}
+        self._by_message: dict[tuple, set[int]] = {}
+        self._time_index: list[tuple[float, int]] = []  # sorted (start, id)
+        self.search_count = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def insert(self, span: Span) -> None:
+        """Encode and account one row."""
+        if span.span_id in self._spans:
+            raise ValueError(f"duplicate span id {span.span_id}")
+        self._spans[span.span_id] = span
+        if span.systrace_id is not None:
+            self._by_systrace.setdefault(span.systrace_id,
+                                         set()).add(span.span_id)
+        if span.pseudo_thread_key:
+            self._by_pthread.setdefault(span.pseudo_thread_key,
+                                        set()).add(span.span_id)
+        if span.x_request_id:
+            self._by_xreq.setdefault(span.x_request_id,
+                                     set()).add(span.span_id)
+        if span.flow_key is not None:
+            if span.req_tcp_seq is not None:
+                self._by_flow_seq.setdefault(
+                    (span.flow_key, "q", span.req_tcp_seq),
+                    set()).add(span.span_id)
+            if span.resp_tcp_seq is not None:
+                self._by_flow_seq.setdefault(
+                    (span.flow_key, "p", span.resp_tcp_seq),
+                    set()).add(span.span_id)
+        if span.otel_trace_id:
+            self._by_otel.setdefault(span.otel_trace_id,
+                                     set()).add(span.span_id)
+        if (span.message_id is not None
+                and span.protocol in QUEUE_RELAY_PROTOCOLS):
+            self._by_message.setdefault(
+                (span.protocol, span.resource, span.message_id),
+                set()).add(span.span_id)
+        bisect.insort(self._time_index, (span.start_time, span.span_id))
+
+    def insert_many(self, spans: Iterable[Span]) -> None:
+        """Insert every span in *spans*."""
+        for span in spans:
+            self.insert(span)
+
+    def get(self, span_id: int) -> Optional[Span]:
+        """Fetch the span by id, or None."""
+        return self._spans.get(span_id)
+
+    def all_spans(self) -> list[Span]:
+        """Every stored span, as a list."""
+        return list(self._spans.values())
+
+    # -- Algorithm 1 support -------------------------------------------------
+
+    def search(self, assoc: AssociationFilter) -> set[int]:
+        """All span ids matching any key in the filter (line 12)."""
+        self.search_count += 1
+        result: set[int] = set(
+            span_id for span_id in assoc.span_ids if span_id in self._spans)
+        for systrace_id in assoc.systrace_ids:
+            result |= self._by_systrace.get(systrace_id, set())
+        for pthread in assoc.pseudo_threads:
+            result |= self._by_pthread.get(pthread, set())
+        for x_request_id in assoc.x_request_ids:
+            result |= self._by_xreq.get(x_request_id, set())
+        for flow_seq in assoc.flow_seqs:
+            result |= self._by_flow_seq.get(flow_seq, set())
+        for trace_id in assoc.otel_trace_ids:
+            result |= self._by_otel.get(trace_id, set())
+        for message_key in assoc.message_keys:
+            result |= self._by_message.get(message_key, set())
+        return result
+
+    # -- span-list queries (Fig 15) -----------------------------------------
+
+    def span_list(self, start: float, end: float,
+                  predicate: Optional[Callable[[Span], bool]] = None
+                  ) -> list[Span]:
+        """Spans with start_time in [start, end), optionally filtered."""
+        lo = bisect.bisect_left(self._time_index, (start, -1))
+        hi = bisect.bisect_left(self._time_index, (end, -1))
+        spans = [self._spans[span_id]
+                 for _start, span_id in self._time_index[lo:hi]]
+        if predicate is not None:
+            spans = [span for span in spans if predicate(span)]
+        return spans

@@ -1,0 +1,89 @@
+"""Tag-indexed time-series metric store.
+
+The Prometheus-integration half of tag-based correlation (§3.4): metrics
+carry the same resource tags as spans, so "when querying traces, users can
+simultaneously view the related metrics data".  The RabbitMQ case study
+(§4.1.3, Figure 12) is a join between a trace's spans and the broker's
+queue-depth series through the shared ``pod`` tag.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.span import Span
+
+
+@dataclass(frozen=True)
+class _SeriesKey:
+    name: str
+    tags: tuple[tuple[str, str], ...]
+
+
+class MetricsDatabase:
+    """Append-only series store with tag-based lookup."""
+
+    def __init__(self) -> None:
+        self._series: dict[_SeriesKey, list[tuple[float, float]]] = {}
+
+    @staticmethod
+    def _key(name: str, tags: dict[str, str]) -> _SeriesKey:
+        return _SeriesKey(name, tuple(sorted(tags.items())))
+
+    def record(self, name: str, tags: dict[str, str], timestamp: float,
+               value: float) -> None:
+        """Append one sample to a series."""
+        series = self._series.setdefault(self._key(name, tags), [])
+        if series and timestamp < series[-1][0]:
+            raise ValueError(
+                f"out-of-order sample for {name}: {timestamp}")
+        series.append((timestamp, value))
+
+    def series_names(self) -> set[str]:
+        """Names of every stored series."""
+        return {key.name for key in self._series}
+
+    def query(self, name: str, tag_filter: Optional[dict[str, str]] = None,
+              start: Optional[float] = None,
+              end: Optional[float] = None) -> list[tuple[float, float]]:
+        """Samples of *name* whose tags are a superset of *tag_filter*."""
+        out: list[tuple[float, float]] = []
+        wanted = set((tag_filter or {}).items())
+        for key, series in self._series.items():
+            if key.name != name:
+                continue
+            if not wanted <= set(key.tags):
+                continue
+            lo = 0 if start is None else bisect_left(series, (start, -1e30))
+            hi = (len(series) if end is None
+                  else bisect_right(series, (end, 1e30)))
+            out.extend(series[lo:hi])
+        out.sort()
+        return out
+
+    def correlate_span(self, span: Span, names: Optional[list[str]] = None,
+                       pad: float = 1.0) -> dict[str, list]:
+        """All series overlapping a span's tags and time interval.
+
+        This is the zero-code correlation path: the span's own resource
+        tags select the series; no identifier was ever propagated.
+        """
+        wanted_names = names if names is not None else sorted(
+            self.series_names())
+        interesting = {k: v for k, v in span.tags.items()
+                       if k in ("pod", "node", "ip", "service", "app")}
+        result: dict[str, list] = {}
+        for name in wanted_names:
+            # Try increasingly loose tag subsets until something matches.
+            for tag_key in ("pod", "node", "ip", "service", "app"):
+                if tag_key not in interesting:
+                    continue
+                samples = self.query(
+                    name, {tag_key: interesting[tag_key]},
+                    start=span.start_time - pad, end=span.end_time + pad)
+                if samples:
+                    result[name] = samples
+                    break
+        return result

@@ -1,0 +1,182 @@
+"""DeepFlow Server facade: ingest, enrichment, and the query API.
+
+Ingestion applies the smart-encoding enrichment: spans arrive from agents
+carrying only ``(vpc, ip)`` tags; the server joins the registered resource
+tags (Figure 8 step ⑦) before storing.  Self-defined labels are joined at
+query time (step ⑧) by :meth:`DeepFlowServer.trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.span import Span, SpanKind, SpanSide, Trace
+from repro.server.assembler import DEFAULT_ITERATIONS, TraceAssembler
+from repro.server.database import SpanStore
+from repro.server.metricsdb import MetricsDatabase
+from repro.server.tags import TagRegistry
+
+
+class DeepFlowServer:
+    """Cluster-level collector, store, and query engine."""
+
+    def __init__(self, iterations: int = DEFAULT_ITERATIONS):
+        self.store = SpanStore()
+        self.tags = TagRegistry()
+        self.metrics = MetricsDatabase()
+        self.assembler = TraceAssembler(self.store, iterations=iterations)
+        self._next_agent_index = 1
+        self.ingested_spans = 0
+
+    # -- agent registration ----------------------------------------------
+
+    def register_agent(self) -> int:
+        """Hand out a unique agent index (id-allocation prefix)."""
+        index = self._next_agent_index
+        self._next_agent_index += 1
+        return index
+
+    def new_agent(self, kernel, node=None, config=None):
+        """Convenience: create an agent wired to this server."""
+        from repro.agent.agent import DeepFlowAgent
+        return DeepFlowAgent(kernel, self.register_agent(), server=self,
+                             node=node, config=config)
+
+    # -- tag collection (Figure 8 ①–③) ------------------------------------
+
+    def register_resource_tags(self, vpc: str, ip: str,
+                               tags: dict[str, str]) -> None:
+        """Register resource tags for (vpc, ip)."""
+        self.tags.register(vpc, ip, tags)
+
+    def register_cloud_tags(self, vpc: str, ip: str,
+                            tags: dict[str, str]) -> None:
+        """Cloud resource tags arrive directly at the server (step ③)."""
+        self.tags.register(vpc, ip, tags)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest_spans(self, spans: list[Span]) -> None:
+        """Enrich and store a batch of spans from an agent."""
+        for span in spans:
+            self._enrich(span)
+            self.store.insert(span)
+            self.ingested_spans += 1
+
+    def _enrich(self, span: Span) -> None:
+        """Smart-encoding step ⑦: (vpc, ip) → resource tags in Int form.
+
+        The store keeps the decoded dict for inspectability; the Int
+        round-trip is exercised so the encoding is honest.
+        """
+        vpc = span.tags.get("vpc")
+        ip = span.tags.get("ip")
+        if vpc is None or ip is None:
+            return
+        encoded = self.tags.resource_tags_encoded(vpc, ip)
+        if encoded:
+            span.tags.update(self.tags.decode(encoded))
+
+    def ingest_otel_span(self, span: Span) -> None:
+        """Third-party span integration (§3.3.2)."""
+        if span.kind is not SpanKind.APP:
+            raise ValueError("third-party spans must have kind APP")
+        self.store.insert(span)
+        self.ingested_spans += 1
+
+    # -- query API (what the front end calls) --------------------------------
+
+    def span_list(self, start: float, end: float,
+                  predicate: Optional[Callable[[Span], bool]] = None
+                  ) -> list[Span]:
+        """Spans with start time in [start, end)."""
+        return self.store.span_list(start, end, predicate)
+
+    def find_spans(self, **criteria) -> list[Span]:
+        """Linear search helper for examples/tests (not a hot path)."""
+        out = []
+        for span in self.store.all_spans():
+            if all(getattr(span, key, None) == value
+                   for key, value in criteria.items()):
+                out.append(span)
+        return out
+
+    def trace(self, start_span_id: int) -> Trace:
+        """Assemble the trace containing *start_span_id* (Algorithm 1)."""
+        trace = self.assembler.assemble(start_span_id)
+        for span in trace:
+            vpc = span.tags.get("vpc")
+            ip = span.tags.get("ip")
+            if vpc is not None and ip is not None:
+                # Query-time join of self-defined labels (step ⑧).
+                span.tags.update(self.tags.custom_tags(vpc, ip))
+        return trace
+
+    def correlated_metrics(self, trace: Trace,
+                           names: Optional[list[str]] = None) -> dict:
+        """Metrics related to each span of a trace, via shared tags."""
+        result = {}
+        for span in trace:
+            series = self.metrics.correlate_span(span, names=names)
+            if series:
+                result[span.span_id] = series
+        return result
+
+    # -- tag-grouped analytics (§3.4) ------------------------------------
+
+    def latency_by_tag(self, tag_key: str, *,
+                       side: SpanSide = SpanSide.SERVER,
+                       start: float = 0.0,
+                       end: float = float("inf")) -> dict[str, dict]:
+        """Latency statistics grouped by a resource tag.
+
+        The §3.4 workflow: "users can use these tags to immediately
+        determine the locations of the problems, such as in which pod
+        the invocations are time-consuming".
+        """
+        groups: dict[str, list[float]] = {}
+        for span in self.store.span_list(start, min(end, float("1e18"))):
+            if span.side is not side:
+                continue
+            tag_value = span.tags.get(tag_key)
+            if tag_value is None:
+                continue
+            groups.setdefault(tag_value, []).append(span.duration)
+        result = {}
+        for tag_value, durations in groups.items():
+            ordered = sorted(durations)
+            p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+            result[tag_value] = {
+                "count": len(ordered),
+                "mean": sum(ordered) / len(ordered),
+                "p95": ordered[p95_index],
+            }
+        return result
+
+    def error_rate_by_tag(self, tag_key: str, *,
+                          start: float = 0.0,
+                          end: float = float("inf")) -> dict[str, float]:
+        """Fraction of error spans per tag value (any side)."""
+        totals: dict[str, int] = {}
+        errors: dict[str, int] = {}
+        for span in self.store.span_list(start, min(end, float("1e18"))):
+            tag_value = span.tags.get(tag_key)
+            if tag_value is None:
+                continue
+            totals[tag_value] = totals.get(tag_value, 0) + 1
+            if span.is_error:
+                errors[tag_value] = errors.get(tag_value, 0) + 1
+        return {tag_value: errors.get(tag_value, 0) / count
+                for tag_value, count in totals.items()}
+
+    # -- convenience -----------------------------------------------------
+
+    def slowest_span(self, side: SpanSide = SpanSide.CLIENT,
+                     start: float = 0.0,
+                     end: float = float("inf")) -> Optional[Span]:
+        """The user's typical starting point: a time-consuming invocation."""
+        spans = [span for span in self.store.span_list(start, end)
+                 if span.side is side]
+        if not spans:
+            return None
+        return max(spans, key=lambda span: span.duration)

@@ -1,0 +1,39 @@
+"""Discrete-event simulation engine.
+
+This package provides the deterministic substrate on which the simulated
+kernel, network, and microservice applications run.  It is a small,
+self-contained event-loop library in the style of SimPy:
+
+* :class:`~repro.sim.engine.Simulator` owns the virtual clock and event heap.
+* :class:`~repro.sim.engine.Process` wraps a generator; processes cooperate
+  by yielding :class:`~repro.sim.engine.Event` instances, delays, or other
+  processes.
+* :class:`~repro.sim.queue.Queue` is a blocking FIFO used for socket
+  buffers, thread pools, and message brokers.
+
+All randomness used anywhere in the reproduction flows through
+``Simulator.rng`` so that every experiment is reproducible bit-for-bit.
+"""
+
+from repro.sim.engine import (
+    Event,
+    Interrupt,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.queue import Queue, QueueClosed
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "Queue",
+    "QueueClosed",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]

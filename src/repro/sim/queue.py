@@ -1,0 +1,90 @@
+"""Blocking FIFO queue for simulated processes.
+
+Used throughout the reproduction: socket receive buffers, thread-pool work
+queues, broker queues (the RabbitMQ case study), and the agent's perf ring
+buffer all sit on this primitive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class QueueClosed(Exception):
+    """Raised in getters when the queue is closed and drained."""
+
+
+class Queue:
+    """An unbounded (or capacity-bounded) FIFO with blocking ``get``.
+
+    ``put`` never blocks; when a capacity is set, excess items are counted as
+    drops (mirroring how a perf buffer or a broker with a full queue behaves)
+    rather than back-pressuring the producer.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._closed = False
+        self.dropped = 0
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the queue has been closed."""
+        return self._closed
+
+    def put(self, item: Any) -> bool:
+        """Append *item*; False if dropped (queue full or closed)."""
+        if self._closed:
+            self.dropped += 1
+            return False
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self.total_put += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Return an event delivering the next item (FIFO among waiters)."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        elif self._closed:
+            event.fail(QueueClosed(self.name))
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Any:
+        """Pop immediately; raises IndexError when empty."""
+        return self._items.popleft()
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def close(self) -> None:
+        """Close the queue; pending and future getters fail."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._getters:
+            self._getters.popleft().fail(QueueClosed(self.name))

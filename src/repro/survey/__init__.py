@@ -1,0 +1,34 @@
+"""Production survey data and figure derivations.
+
+Figures 2, 9, and 10 of the paper are derived from DeepFlow's customer
+survey; Appendix C publishes the raw questionnaire answers (Tables 4–5).
+This package carries that raw data verbatim and re-derives the figures'
+series from it, so the "production" figures regenerate from source data
+exactly as the paper's did.
+"""
+
+from repro.survey.failures import (
+    FAILURE_SOURCES,
+    NETWORK_FAILURE_BREAKDOWN,
+    fig2a_series,
+    fig2b_series,
+)
+from repro.survey.questionnaire import (
+    RAW_ANSWERS,
+    Q11_ANSWERS,
+    fig9_effort_series,
+    fig10a_locate_series,
+    fig10b_advantages,
+)
+
+__all__ = [
+    "FAILURE_SOURCES",
+    "NETWORK_FAILURE_BREAKDOWN",
+    "Q11_ANSWERS",
+    "RAW_ANSWERS",
+    "fig10a_locate_series",
+    "fig10b_advantages",
+    "fig2a_series",
+    "fig2b_series",
+    "fig9_effort_series",
+]

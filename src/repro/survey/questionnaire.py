@@ -1,0 +1,132 @@
+"""Appendix C raw questionnaire data (Tables 4 and 5), verbatim.
+
+Ten valid responses from Fortune-Global-500 users, eleven questions.
+The derivations below regenerate the data series behind Figure 9
+(instrumentation effort without DeepFlow: Q6/Q7) and Figure 10
+(time-to-locate before/after and primary advantages: Q9/Q10/Q11).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Table 4 — multiple-choice answers.  Keys are question numbers; values
+#: are the ten answers A1..A10 in order.
+RAW_ANSWERS: dict[int, list[str]] = {
+    1: ["O", "S", "O", "O", "O", "O", "S", "O", "O", "S"],
+    2: ["2-5", "5-10", "2-5", "2-5", "Unknown", "2-5", "2-5", "2-5",
+        "2-5", "2-5"],
+    3: ["2-5"] * 10,
+    4: ["2-5", ">100", "5-10", ">100", "20-100", "10-20", "5-10", "10-20",
+        "2-5", ">100"],
+    5: ["100-1k", "3k-5k", "3k-5k", "3k-5k", ">5k", ">5k", "100-1k",
+        "1k-3k", "3k-5k", ">5k"],
+    6: ["Days", "Days", "Hrs", "1Hr", "Mins", "Hrs", "Hrs", "Mins", "Hrs",
+        "1Hr"],
+    7: ["(20,100]", "(0,20]", ">100", "(0,20]", "0", ">100", ">100", "0",
+        "(20,100]", "(20,100]"],
+    8: ["20%-50%", "50%-80%", "20%-50%", "50%-80%", "50%-80%", "20%-50%",
+        ">80%", "50%-80%", "20%-50%", "0%"],
+    9: ["1Hr", "Hrs", "Hrs", "Hrs", "Hrs", "Mins", "1Hr", "Mins", "Hrs",
+        "1Hr"],
+    10: ["1Hr", "Hrs", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "Mins", "1Hr",
+         "1Hr"],
+}
+
+#: Table 5 — short answers to Q11 ("Where has DeepFlow helped you the
+#: most?"), lightly normalized to ascii.
+Q11_ANSWERS: list[str] = [
+    "It helps me to check network status and response latency between two "
+    "microservices, making slow request troubleshooting easier.",
+    "Its non-intrusive characteristic can help detect previous blind spots "
+    "in the system, such as components written in Golang or Rust. But it "
+    "is not very useful for Java components, since skywalking is already "
+    "sufficient for us.",
+    "Locating problems with network data non-intrusively.",
+    "Microservice Network Fault Location.",
+    "Network problem diagnosis.",
+    "It complements existing observability tools by providing more "
+    "detailed traces and enriching the set of metrics.",
+    "It can capture the time consumption of services and middleware at "
+    "the network level. Besides, a lot of work is reduced by its "
+    "non-intrusive characteristic.",
+    "Non-intrusive, low-cost deployment.",
+    "",
+    "It can help us find some problems in the system, but we haven't "
+    "found a way to locate the problem precisely.",
+]
+
+#: Keyword rubric mapping Q11 free text onto the Figure 10(b) advantage
+#: categories reported in §4 ("Five out of ten consumers acknowledge that
+#: network coverage ... Four users find the non-intrusive instrumentation
+#: helpful. Three users believe the tracing of closed-source components
+#: to be one of DeepFlow's benefits.").
+ADVANTAGE_RUBRIC: dict[str, tuple[str, ...]] = {
+    "network coverage": ("network status", "network data",
+                         "network fault", "network problem",
+                         "network level"),
+    "non-intrusive instrumentation": ("non-intrusive",),
+    "closed-source tracing": ("blind spots", "middleware",
+                              "detailed traces"),
+}
+
+#: Ordered duration buckets used by Q6/Q9/Q10.
+DURATION_ORDER = ("Mins", "1Hr", "Hrs", "Days")
+
+#: Ordered LOC buckets used by Q7.
+LOC_ORDER = ("0", "(0,20]", "(20,100]", ">100")
+
+
+def fig9_effort_series() -> dict[str, dict[str, int]]:
+    """Figure 9: instrumentation effort without DeepFlow.
+
+    Returns two histograms: time per component (Q6) and modified lines of
+    code per component (Q7).
+    """
+    time_counts = Counter(RAW_ANSWERS[6])
+    loc_counts = Counter(RAW_ANSWERS[7])
+    return {
+        "time_per_component": {bucket: time_counts.get(bucket, 0)
+                               for bucket in DURATION_ORDER},
+        "loc_per_component": {bucket: loc_counts.get(bucket, 0)
+                              for bucket in LOC_ORDER},
+    }
+
+
+def fig10a_locate_series() -> dict[str, dict[str, int]]:
+    """Figure 10(a): time to locate a fault, before vs after DeepFlow."""
+    before = Counter(RAW_ANSWERS[9])
+    after = Counter(RAW_ANSWERS[10])
+    return {
+        "before_deepflow": {bucket: before.get(bucket, 0)
+                            for bucket in DURATION_ORDER},
+        "with_deepflow": {bucket: after.get(bucket, 0)
+                          for bucket in DURATION_ORDER},
+    }
+
+
+def fig10b_advantages() -> dict[str, int]:
+    """Figure 10(b): primary advantages as reported by users (Q11)."""
+    counts = {category: 0 for category in ADVANTAGE_RUBRIC}
+    for answer in Q11_ANSWERS:
+        lowered = answer.lower()
+        for category, keywords in ADVANTAGE_RUBRIC.items():
+            if any(keyword in lowered for keyword in keywords):
+                counts[category] += 1
+    return counts
+
+
+def improvement_summary() -> dict[str, float]:
+    """Headline §4 numbers: how many users improved after DeepFlow."""
+    rank = {bucket: index for index, bucket in enumerate(DURATION_ORDER)}
+    improved = sum(
+        1 for before, after in zip(RAW_ANSWERS[9], RAW_ANSWERS[10])
+        if rank[after] < rank[before])
+    hours_or_days_before = sum(
+        1 for answer in RAW_ANSWERS[6] if answer in ("Hrs", "Days"))
+    return {
+        "users_locating_faster": improved,
+        "users_spending_hours_or_days_instrumenting":
+            hours_or_days_before,
+        "respondents": len(RAW_ANSWERS[6]),
+    }

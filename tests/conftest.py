@@ -1,0 +1,30 @@
+"""Shared fixtures: a small two-node cluster with attached kernels."""
+
+import pytest
+
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def cluster():
+    builder = ClusterBuilder(node_count=2)
+    builder.add_pod(0, "client-pod", labels={"app": "client"})
+    builder.add_pod(1, "server-pod", labels={"app": "server"})
+    return builder.build()
+
+
+@pytest.fixture
+def network(sim, cluster):
+    return Network(sim, cluster)
+
+
+@pytest.fixture
+def kernels(network, cluster):
+    return [network.kernel_for_node(node.name) for node in cluster.nodes]

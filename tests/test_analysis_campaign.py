@@ -1,0 +1,45 @@
+"""The fault campaign must localize every Figure 2 category it injects."""
+
+import pytest
+
+from repro.analysis.campaign import CATEGORIES, FaultCampaign
+from repro.survey.failures import (
+    FAILURE_SOURCES,
+    NETWORK_FAILURE_BREAKDOWN,
+    fig2a_series,
+    fig2b_series,
+    validate,
+)
+
+
+class TestFigure2Data:
+    def test_fractions_validate(self):
+        validate()
+
+    def test_network_is_largest_source(self):
+        assert fig2a_series()[0][0] == "network infrastructure"
+
+    def test_virtual_network_is_weakest_spot(self):
+        assert fig2b_series()[0] == ("virtual network", 0.308)
+
+    def test_fractions_match_paper_headlines(self):
+        assert FAILURE_SOURCES["network infrastructure"] == 0.473
+        assert FAILURE_SOURCES["application"] == 0.327
+        assert FAILURE_SOURCES["computing infrastructure"] == 0.127
+        assert FAILURE_SOURCES["external traffic surge"] == 0.073
+        assert NETWORK_FAILURE_BREAKDOWN["virtual network"] == 0.308
+
+
+@pytest.mark.parametrize("category", CATEGORIES)
+def test_campaign_localizes_category(category):
+    outcome = FaultCampaign(seed=3).run_scenario(category)
+    assert outcome.detected == category, (
+        f"injected {category!r} diagnosed as {outcome.detected!r}; "
+        f"evidence: {outcome.evidence}")
+    assert outcome.culprit
+
+
+def test_campaign_full_run_accuracy():
+    result = FaultCampaign(seed=5).run(CATEGORIES)
+    assert result.accuracy == 1.0
+    assert set(result.detected_counts()) == set(CATEGORIES)

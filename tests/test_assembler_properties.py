@@ -1,0 +1,109 @@
+"""Property-based tests on the trace assembler's parent assignment."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import IdAllocator
+from repro.core.span import Span, SpanKind, SpanSide, Trace
+from repro.server.assembler import assign_parents
+
+_ids = IdAllocator(12)
+
+_side = st.sampled_from([SpanSide.CLIENT, SpanSide.SERVER,
+                         SpanSide.NETWORK])
+
+
+@st.composite
+def random_span(draw):
+    side = draw(_side)
+    kind = (SpanKind.NETWORK if side is SpanSide.NETWORK
+            else SpanKind.SYSCALL)
+    start = draw(st.floats(min_value=0.0, max_value=10.0,
+                           allow_nan=False))
+    duration = draw(st.floats(min_value=0.001, max_value=1.0,
+                              allow_nan=False))
+    return Span(
+        span_id=_ids.next_id(),
+        kind=kind,
+        side=side,
+        start_time=start,
+        end_time=start + duration,
+        host=draw(st.sampled_from(["n1", "n2"])),
+        pid=draw(st.integers(min_value=1, max_value=3)),
+        protocol=draw(st.sampled_from(["http", "amqp"])),
+        resource=draw(st.sampled_from(["/a", "/b", "q"])),
+        systrace_id=draw(st.one_of(st.none(),
+                                   st.integers(min_value=1, max_value=5))),
+        pseudo_thread_key=None,
+        x_request_id=draw(st.one_of(st.none(),
+                                    st.sampled_from(["x1", "x2"]))),
+        flow_key=draw(st.one_of(st.none(),
+                                st.sampled_from([("f1",), ("f2",)]))),
+        req_tcp_seq=draw(st.one_of(st.none(),
+                                   st.integers(min_value=1, max_value=4))),
+        resp_tcp_seq=draw(st.one_of(st.none(),
+                                    st.integers(min_value=1,
+                                                max_value=4))),
+        path_index=draw(st.integers(min_value=0, max_value=5)),
+        message_id=draw(st.one_of(st.none(),
+                                  st.integers(min_value=1, max_value=3))),
+    )
+
+
+@given(spans=st.lists(random_span(), min_size=0, max_size=25))
+@settings(max_examples=150)
+def test_parent_assignment_never_creates_cycles(spans):
+    """Whatever adversarial association keys spans carry, the parent
+    relation must stay a forest: no cycles, parents inside the set or
+    treated as roots."""
+    assign_parents(spans)
+    by_id = {span.span_id: span for span in spans}
+    for span in spans:
+        assert span.parent_id != span.span_id
+        seen = {span.span_id}
+        current = span
+        while current.parent_id is not None:
+            assert current.parent_id not in seen, "cycle detected"
+            seen.add(current.parent_id)
+            next_span = by_id.get(current.parent_id)
+            if next_span is None:
+                break
+            current = next_span
+
+
+@given(spans=st.lists(random_span(), min_size=1, max_size=25))
+@settings(max_examples=100)
+def test_assignment_is_deterministic(spans):
+    import copy
+    copy_a = copy.deepcopy(spans)
+    copy_b = copy.deepcopy(spans)
+    assign_parents(copy_a)
+    assign_parents(copy_b)
+    assert ([span.parent_id for span in copy_a]
+            == [span.parent_id for span in copy_b])
+
+
+@given(spans=st.lists(random_span(), min_size=1, max_size=25))
+@settings(max_examples=100)
+def test_assignment_is_order_insensitive(spans):
+    """Shuffling the input list must not change who parents whom."""
+    import copy
+    forward = copy.deepcopy(spans)
+    backward = copy.deepcopy(spans)
+    backward_view = list(reversed(backward))
+    assign_parents(forward)
+    assign_parents(backward_view)
+    parents_forward = {span.span_id: span.parent_id for span in forward}
+    parents_backward = {span.span_id: span.parent_id for span in backward}
+    assert parents_forward == parents_backward
+
+
+@given(spans=st.lists(random_span(), min_size=1, max_size=25))
+@settings(max_examples=100)
+def test_trace_renders_whatever_the_assignment(spans):
+    """Trace rendering is total: any assignment yields a printable tree."""
+    assign_parents(spans)
+    trace = Trace(spans)
+    text = trace.to_text()
+    assert isinstance(text, str)
+    assert len(trace.roots()) >= 1

@@ -1,0 +1,139 @@
+"""Unit tests for implicit intra-component association (Figure 7)."""
+
+from repro.agent.association import AssociationTracker
+from repro.core.ids import IdAllocator
+from repro.kernel.syscalls import CoroutineEvent, Direction
+from repro.protocols.base import MessageType
+
+REQ = MessageType.REQUEST
+RESP = MessageType.RESPONSE
+IN = Direction.INGRESS
+OUT = Direction.EGRESS
+
+
+def make_tracker():
+    return AssociationTracker(IdAllocator(1), host="node-1")
+
+
+def co_event(pid, coroutine_id, parent=None, t=0.0):
+    return CoroutineEvent(kind="create", pid=pid, tid=100,
+                          coroutine_id=coroutine_id,
+                          parent_coroutine_id=parent, timestamp=t)
+
+
+class TestThreadAssociation:
+    def test_server_request_chain_shares_systrace(self):
+        """Fig 7(a): ingress req → egress req → ingress resp → egress resp."""
+        tracker = make_tracker()
+        key = tracker.pthread_key(1, 10, None)
+        t1 = tracker.assign_systrace(key, REQ, IN)
+        t2 = tracker.assign_systrace(key, REQ, OUT)
+        t3 = tracker.assign_systrace(key, RESP, IN)
+        t4 = tracker.assign_systrace(key, RESP, OUT)
+        assert t1 == t2 == t3 == t4
+
+    def test_thread_reuse_partitions_on_new_ingress_request(self):
+        """Fig 7(b): a new incoming request starts a new causal unit."""
+        tracker = make_tracker()
+        key = tracker.pthread_key(1, 10, None)
+        first = tracker.assign_systrace(key, REQ, IN)
+        tracker.assign_systrace(key, RESP, OUT)
+        second = tracker.assign_systrace(key, REQ, IN)
+        assert second != first
+
+    def test_client_exchanges_partition_between_requests(self):
+        """A pure client thread gets a fresh id per completed exchange."""
+        tracker = make_tracker()
+        key = tracker.pthread_key(1, 10, None)
+        first = tracker.assign_systrace(key, REQ, OUT)
+        assert tracker.assign_systrace(key, RESP, IN) == first
+        second = tracker.assign_systrace(key, REQ, OUT)
+        assert second != first
+
+    def test_pipelined_client_requests_share_systrace(self):
+        """Back-to-back egress requests without responses stay together."""
+        tracker = make_tracker()
+        key = tracker.pthread_key(1, 10, None)
+        first = tracker.assign_systrace(key, REQ, OUT)
+        second = tracker.assign_systrace(key, REQ, OUT)
+        assert first == second
+
+    def test_multiple_downstream_calls_inside_request(self):
+        """Fig 7(c): consecutive calls on different sockets inherit."""
+        tracker = make_tracker()
+        key = tracker.pthread_key(1, 10, None)
+        request = tracker.assign_systrace(key, REQ, IN)
+        call_a = tracker.assign_systrace(key, REQ, OUT)
+        resp_a = tracker.assign_systrace(key, RESP, IN)
+        call_b = tracker.assign_systrace(key, REQ, OUT)
+        assert request == call_a == resp_a == call_b
+
+    def test_different_threads_never_share(self):
+        tracker = make_tracker()
+        key_a = tracker.pthread_key(1, 10, None)
+        key_b = tracker.pthread_key(1, 11, None)
+        assert (tracker.assign_systrace(key_a, REQ, IN)
+                != tracker.assign_systrace(key_b, REQ, IN))
+
+    def test_generation_increments_per_request(self):
+        tracker = make_tracker()
+        key = tracker.pthread_key(1, 10, None)
+        tracker.assign_systrace(key, REQ, IN)
+        first_gen = tracker.generation(key)
+        tracker.assign_systrace(key, RESP, OUT)
+        assert tracker.generation(key) == first_gen
+        tracker.assign_systrace(key, REQ, IN)
+        assert tracker.generation(key) == first_gen + 1
+
+
+class TestCoroutinePseudoThreads:
+    def test_coroutine_without_parent_owns_its_pthread(self):
+        tracker = make_tracker()
+        tracker.on_coroutine_event(co_event(1, 5))
+        assert tracker.pthread_key(1, 100, 5) == ("c", 1, 5)
+
+    def test_handler_spawned_by_idle_acceptor_gets_own_pthread(self):
+        tracker = make_tracker()
+        tracker.on_coroutine_event(co_event(1, 5))        # acceptor
+        tracker.on_coroutine_event(co_event(1, 6, parent=5))  # handler
+        assert tracker.pthread_key(1, 100, 6) == ("c", 1, 6)
+
+    def test_worker_spawned_mid_request_joins_parent_pthread(self):
+        tracker = make_tracker()
+        tracker.on_coroutine_event(co_event(1, 5))
+        handler_key = tracker.pthread_key(1, 100, 5)
+        tracker.assign_systrace(handler_key, REQ, IN)  # request open
+        tracker.on_coroutine_event(co_event(1, 6, parent=5))
+        assert tracker.pthread_key(1, 100, 6) == handler_key
+
+    def test_worker_shares_open_systrace(self):
+        tracker = make_tracker()
+        tracker.on_coroutine_event(co_event(1, 5))
+        handler_key = tracker.pthread_key(1, 100, 5)
+        request_id = tracker.assign_systrace(handler_key, REQ, IN)
+        tracker.on_coroutine_event(co_event(1, 6, parent=5))
+        worker_key = tracker.pthread_key(1, 100, 6)
+        assert tracker.assign_systrace(worker_key, REQ, OUT) == request_id
+
+    def test_concurrent_handlers_stay_separate(self):
+        """Two handlers spawned by the same acceptor must not merge."""
+        tracker = make_tracker()
+        tracker.on_coroutine_event(co_event(1, 5))  # acceptor
+        tracker.on_coroutine_event(co_event(1, 6, parent=5))
+        tracker.on_coroutine_event(co_event(1, 7, parent=5))
+        key_a = tracker.pthread_key(1, 100, 6)
+        key_b = tracker.pthread_key(1, 100, 7)
+        assert key_a != key_b
+        assert (tracker.assign_systrace(key_a, REQ, IN)
+                != tracker.assign_systrace(key_b, REQ, IN))
+
+    def test_unknown_coroutine_falls_back_to_own_id(self):
+        tracker = make_tracker()
+        assert tracker.pthread_key(1, 100, 42) == ("c", 1, 42)
+
+    def test_exit_events_are_ignored(self):
+        tracker = make_tracker()
+        tracker.on_coroutine_event(CoroutineEvent(
+            kind="exit", pid=1, tid=100, coroutine_id=5,
+            parent_coroutine_id=None, timestamp=0.0))
+        assert tracker.pthread_key(1, 100, 5) == ("c", 1, 5)

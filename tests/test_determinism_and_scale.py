@@ -1,0 +1,182 @@
+"""Determinism and scale: the reproduction's own invariants.
+
+DESIGN.md decision 1: every experiment is reproducible bit-for-bit from
+its seed.  These tests run whole tracing scenarios twice and compare the
+complete observable output, then push a larger topology through the
+pipeline to check nothing degrades structurally.
+"""
+
+import pytest
+
+from repro.apps import springboot
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.runtime import HttpService, Response
+from repro.core.span import SpanSide
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def _run_springboot(seed):
+    sim = Simulator(seed=seed)
+    demo = springboot.build(sim)
+    server = DeepFlowServer()
+    agents = []
+    for node in demo.cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+    generator = LoadGenerator(demo.pods["loadgen"].node, demo.entry_ip,
+                              demo.entry_port, rate=25, duration=0.4,
+                              connections=3, pod=demo.pods["loadgen"],
+                              path="/api/orders", name="loadgen")
+    report = sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.5)
+    for agent in agents:
+        agent.flush()
+    return report, server
+
+
+def _fingerprint(server):
+    """Every observable field of every span, order-independent."""
+    rows = []
+    for span in server.store.all_spans():
+        rows.append((span.span_id, span.kind.value, span.side.value,
+                     span.process_name, span.protocol, span.operation,
+                     span.resource, span.status, span.status_code,
+                     round(span.start_time, 12), round(span.end_time, 12),
+                     span.systrace_id, span.req_tcp_seq,
+                     span.resp_tcp_seq, span.x_request_id,
+                     tuple(sorted(span.tags.items()))))
+    return sorted(rows)
+
+
+class TestDeterminism:
+    def test_identical_seeds_produce_identical_spans(self):
+        report_a, server_a = _run_springboot(seed=5150)
+        report_b, server_b = _run_springboot(seed=5150)
+        assert report_a.completed == report_b.completed
+        assert report_a.latencies == report_b.latencies
+        assert _fingerprint(server_a) == _fingerprint(server_b)
+
+    def test_traces_assemble_identically(self):
+        _report_a, server_a = _run_springboot(seed=5151)
+        _report_b, server_b = _run_springboot(seed=5151)
+        start_a = server_a.slowest_span()
+        start_b = server_b.slowest_span()
+        assert start_a.span_id == start_b.span_id
+        trace_a = server_a.trace(start_a.span_id)
+        trace_b = server_b.trace(start_b.span_id)
+        assert ([(s.span_id, s.parent_id) for s in trace_a]
+                == [(s.span_id, s.parent_id) for s in trace_b])
+
+
+class TestScale:
+    def test_wide_fanout_traces_complete(self):
+        """A 6-node cluster, one aggregator fanning out to 8 leaves."""
+        sim = Simulator(seed=71)
+        builder = ClusterBuilder(node_count=6)
+        lg_pod = builder.add_pod(0, "loadgen-pod")
+        agg_pod = builder.add_pod(1, "aggregator-pod")
+        leaf_pods = [builder.add_pod(2 + i % 4, f"leaf-{i}")
+                     for i in range(8)]
+        cluster = builder.build()
+        Network(sim, cluster)
+        server = DeepFlowServer()
+        agents = []
+        for node in cluster.nodes:
+            agent = server.new_agent(node.kernel, node=node)
+            agent.deploy()
+            agents.append(agent)
+        for index, pod in enumerate(leaf_pods):
+            leaf = HttpService(f"leaf-{index}", pod.node, 9000, pod=pod,
+                               service_time=0.001)
+
+            def handler(worker, request):
+                yield from worker.work(0.0002)
+                return Response(200)
+
+            leaf.route("/")(handler)
+            leaf.start()
+
+        aggregator = HttpService("aggregator", agg_pod.node, 8000,
+                                 pod=agg_pod, service_time=0.001)
+
+        @aggregator.route("/")
+        def fan_out(worker, request):
+            for pod in leaf_pods:
+                reply = yield from worker.call_http(pod.ip, 9000, "GET",
+                                                    "/part")
+                if reply.status_code >= 400:
+                    return Response(502)
+            return Response(200)
+
+        aggregator.start()
+        generator = LoadGenerator(lg_pod.node, agg_pod.ip, 8000, rate=20,
+                                  duration=0.5, connections=4, pod=lg_pod,
+                                  name="loadgen")
+        report = sim.run_process(generator.run())
+        sim.run(until=sim.now + 0.5)
+        for agent in agents:
+            agent.flush()
+        assert report.errors == 0
+        # 1 edge session + 8 fan-out sessions, both endpoints each.
+        expected = (1 + 8) * 2
+        trace = server.trace(server.slowest_span().span_id)
+        assert len(trace) == expected
+        assert len(trace.roots()) == 1
+        # All eight leaf client spans share the aggregator's systrace
+        # and are siblings under its server span.
+        agg_server = next(span for span in trace
+                          if span.process_name == "aggregator"
+                          and span.side is SpanSide.SERVER)
+        fan_spans = [span for span in trace
+                     if span.process_name == "aggregator"
+                     and span.side is SpanSide.CLIENT]
+        assert len(fan_spans) == 8
+        assert all(span.parent_id == agg_server.span_id
+                   for span in fan_spans)
+
+    def test_store_scales_linearly_with_requests(self):
+        report, server = _run_springboot(seed=72)
+        # 5 sessions per request, 2 endpoints each.
+        assert len(server.store) == report.completed * 10
+
+    def test_many_connections_many_threads(self):
+        """Thread-per-connection with 32 concurrent connections."""
+        sim = Simulator(seed=73)
+        builder = ClusterBuilder(node_count=2)
+        lg_pod = builder.add_pod(0, "lg")
+        svc_pod = builder.add_pod(1, "svc")
+        cluster = builder.build()
+        Network(sim, cluster)
+        server = DeepFlowServer()
+        agents = []
+        for node in cluster.nodes:
+            agent = server.new_agent(node.kernel, node=node)
+            agent.deploy()
+            agents.append(agent)
+        service = HttpService("svc", svc_pod.node, 9000, pod=svc_pod,
+                              service_time=0.002)
+
+        @service.route("/")
+        def home(worker, request):
+            yield from worker.work(0.0005)
+            return Response(200)
+
+        service.start()
+        generator = LoadGenerator(lg_pod.node, svc_pod.ip, 9000, rate=400,
+                                  duration=0.3, connections=32, pod=lg_pod,
+                                  name="client")
+        report = sim.run_process(generator.run())
+        sim.run(until=sim.now + 0.5)
+        for agent in agents:
+            agent.flush()
+        assert report.errors == 0
+        assert report.completed == report.sent
+        spans = server.find_spans(process_name="svc")
+        assert len(spans) == report.completed
+        # Each connection is served by its own thread.
+        threads = {span.tid for span in spans}
+        assert len(threads) == 32

@@ -1,0 +1,135 @@
+"""Trace export formats and agent pipeline statistics."""
+
+import json
+
+import pytest
+
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.runtime import HttpService, Response
+from repro.core.export import trace_to_jaeger, trace_to_json, trace_to_otlp
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def traced_world():
+    sim = Simulator(seed=123)
+    builder = ClusterBuilder(node_count=2)
+    lg_pod = builder.add_pod(0, "lg")
+    svc_pod = builder.add_pod(1, "svc")
+    cluster = builder.build()
+    Network(sim, cluster)
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+    service = HttpService("svc", svc_pod.node, 9000, pod=svc_pod,
+                          service_time=0.001)
+
+    @service.route("/")
+    def home(worker, request):
+        yield from worker.work(0.0001)
+        return Response(200)
+
+    service.start()
+    generator = LoadGenerator(lg_pod.node, svc_pod.ip, 9000, rate=10,
+                              duration=0.4, connections=1, pod=lg_pod,
+                              name="client")
+    report = sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.5)
+    for agent in agents:
+        agent.flush()
+    trace = server.trace(server.slowest_span().span_id)
+    return server, agents, trace, report
+
+
+class TestJaegerExport:
+    def test_structure(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        payload = trace_to_jaeger(trace)
+        assert len(payload["spans"]) == len(trace)
+        assert payload["traceID"]
+        assert set(payload["processes"]) == {"p-client", "p-svc"}
+
+    def test_parent_references(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        payload = trace_to_jaeger(trace)
+        span_ids = {span["spanID"] for span in payload["spans"]}
+        child_refs = [span for span in payload["spans"]
+                      if span["references"]]
+        assert len(child_refs) == len(trace) - 1  # all but the root
+        for span in child_refs:
+            assert span["references"][0]["refType"] == "CHILD_OF"
+            assert span["references"][0]["spanID"] in span_ids
+
+    def test_tags_and_metrics_exported(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        payload = trace_to_jaeger(trace)
+        svc_span = next(span for span in payload["spans"]
+                        if span["processID"] == "p-svc")
+        keys = {tag["key"] for tag in svc_span["tags"]}
+        assert "pod" in keys
+        assert "tcp.connect_rtt" in keys
+        assert "http.status_code" in keys
+
+    def test_durations_in_microseconds(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        payload = trace_to_jaeger(trace)
+        for exported, span in zip(
+                payload["spans"], trace):
+            assert exported["duration"] == pytest.approx(
+                max(1, int(span.duration * 1e6)))
+
+
+class TestOtlpExport:
+    def test_flat_span_list(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        spans = trace_to_otlp(trace)
+        assert len(spans) == len(trace)
+        kinds = {span["kind"] for span in spans}
+        assert kinds == {"SPAN_KIND_SERVER", "SPAN_KIND_CLIENT"}
+        assert all(span["status"]["code"] == "STATUS_CODE_OK"
+                   for span in spans)
+
+    def test_parent_ids_resolve(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        spans = trace_to_otlp(trace)
+        ids = {span["spanId"] for span in spans}
+        roots = [span for span in spans if not span["parentSpanId"]]
+        assert len(roots) == 1
+        for span in spans:
+            if span["parentSpanId"]:
+                assert span["parentSpanId"] in ids
+
+
+class TestJsonSerialization:
+    def test_round_trips_through_json(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        for fmt in ("jaeger", "otlp"):
+            text = trace_to_json(trace, fmt=fmt)
+            assert json.loads(text)
+
+    def test_unknown_format_rejected(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        with pytest.raises(ValueError):
+            trace_to_json(trace, fmt="zipkin-thrift")
+
+
+class TestAgentStats:
+    def test_counters_reflect_traffic(self, traced_world):
+        _server, agents, _trace, report = traced_world
+        totals = {key: sum(agent.stats[key] for agent in agents)
+                  for key in agents[0].stats}
+        assert totals["events_processed"] > 0
+        # Two sessions per request, each endpoint sees 2 syscalls.
+        assert totals["syscall_records"] >= report.completed * 4
+        assert totals["spans_emitted"] == totals["spans_shipped"]
+        assert totals["spans_emitted"] >= report.completed * 2
+
+    def test_stats_are_per_agent(self, traced_world):
+        _server, agents, _trace, _report = traced_world
+        assert agents[0].stats is not agents[1].stats

@@ -1,0 +1,100 @@
+"""Unit tests for the cBPF flow-span builder."""
+
+from repro.agent.flowlog import FlowSpanBuilder
+from repro.core.ids import IdAllocator
+from repro.core.span import SpanKind, SpanSide
+from repro.kernel.sockets import FiveTuple
+from repro.network.captures import PacketRecord
+from repro.protocols import http1
+
+FT = FiveTuple("10.0.0.1", 1000, "10.0.0.2", 80)
+
+
+def record(payload, direction="c2s", seq=1, t=0.0, device="tor",
+           flow_id=1, path_index=0):
+    return PacketRecord(
+        device_name=device, device_kind="tor-switch",
+        device_tags={"device": device}, five_tuple=FT,
+        direction=direction, tcp_seq=seq, byte_len=len(payload),
+        payload=payload, timestamp=t, flow_id=flow_id,
+        path_index=path_index)
+
+
+def make_builder():
+    return FlowSpanBuilder(IdAllocator(3), host="node-1")
+
+
+class TestFlowSpanBuilder:
+    def test_request_then_response_produces_span(self):
+        builder = make_builder()
+        assert builder.feed(record(http1.encode_request("GET", "/x"),
+                                   seq=1, t=1.0)) is None
+        span = builder.feed(record(http1.encode_response(200),
+                                   direction="s2c", seq=1, t=2.0))
+        assert span is not None
+        assert span.kind is SpanKind.NETWORK
+        assert span.side is SpanSide.NETWORK
+        assert span.device_name == "tor"
+        assert span.start_time == 1.0
+        assert span.end_time == 2.0
+        assert span.operation == "GET"
+        assert span.status_code == 200
+        assert span.req_tcp_seq == 1
+
+    def test_devices_pair_independently(self):
+        builder = make_builder()
+        builder.feed(record(http1.encode_request("GET", "/x"),
+                            device="tor", seq=1))
+        builder.feed(record(http1.encode_request("GET", "/x"),
+                            device="nic", seq=1))
+        span_nic = builder.feed(record(http1.encode_response(200),
+                                       direction="s2c", device="nic",
+                                       seq=1))
+        span_tor = builder.feed(record(http1.encode_response(200),
+                                       direction="s2c", device="tor",
+                                       seq=1))
+        assert span_nic.device_name == "nic"
+        assert span_tor.device_name == "tor"
+
+    def test_retransmission_deduplicated(self):
+        builder = make_builder()
+        request = record(http1.encode_request("GET", "/x"), seq=5)
+        builder.feed(request)
+        assert builder.feed(request) is None
+        assert builder.duplicates == 1
+        span = builder.feed(record(http1.encode_response(200),
+                                   direction="s2c", seq=1))
+        assert span is not None  # paired once despite the duplicate
+
+    def test_unparseable_payload_ignored(self):
+        builder = make_builder()
+        assert builder.feed(record(b"\x00\x01\x02")) is None
+        assert builder.feed(record(b"", seq=2)) is None
+
+    def test_orphan_response_produces_nothing(self):
+        builder = make_builder()
+        assert builder.feed(record(http1.encode_response(200),
+                                   direction="s2c")) is None
+
+    def test_device_tags_carried_onto_span(self):
+        builder = make_builder()
+        builder.feed(record(http1.encode_request("GET", "/x")))
+        span = builder.feed(record(http1.encode_response(200),
+                                   direction="s2c", seq=1))
+        assert span.tags["device"] == "tor"
+
+    def test_x_request_id_extracted_from_captured_payload(self):
+        builder = make_builder()
+        builder.feed(record(http1.encode_request(
+            "GET", "/x", headers={"X-Request-ID": "xr-55"})))
+        span = builder.feed(record(http1.encode_response(200),
+                                   direction="s2c", seq=1))
+        assert span.x_request_id == "xr-55"
+
+    def test_flows_are_independent(self):
+        builder = make_builder()
+        builder.feed(record(http1.encode_request("GET", "/a"), flow_id=1))
+        builder.feed(record(http1.encode_request("GET", "/b"), flow_id=2))
+        span = builder.feed(record(http1.encode_response(200),
+                                   direction="s2c", flow_id=2, seq=1))
+        assert span.resource == "/b"

@@ -1,0 +1,79 @@
+"""Pipelined binary-framed requests (Kafka, Dubbo) split correctly."""
+
+import pytest
+
+from repro.apps.extra_services import DubboService, KafkaService
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.protocols import dubbo, kafka
+from repro.sim.engine import Simulator
+
+
+def _world(seed):
+    sim = Simulator(seed=seed)
+    builder = ClusterBuilder(node_count=2)
+    client_pod = builder.add_pod(0, "c")
+    svc_pod = builder.add_pod(1, "s")
+    network = Network(sim, builder.build())
+    kernel = network.kernel_for_node(client_pod.node.name)
+    process = kernel.create_process("client", client_pod.ip)
+    thread = kernel.create_thread(process)
+    return sim, svc_pod, kernel, thread
+
+
+def test_kafka_pipelined_burst_split(seed=63):
+    sim, svc_pod, kernel, thread = _world(seed)
+    broker = KafkaService("kafka", svc_pod.node, 9092, pod=svc_pod)
+    broker.start()
+
+    def client():
+        fd = yield from kernel.connect(thread, svc_pod.ip, 9092)
+        burst = (kafka.encode_request(kafka.API_PRODUCE, 1, "t1")
+                 + kafka.encode_request(kafka.API_PRODUCE, 2, "t2")
+                 + kafka.encode_request(kafka.API_PRODUCE, 3, "t3"))
+        yield from kernel.write(thread, fd, burst)
+        replies = []
+        buffer = b""
+        while len(replies) < 3:
+            buffer += yield from kernel.read(thread, fd)
+            while len(buffer) >= 4:
+                size = int.from_bytes(buffer[:4], "big")
+                if len(buffer) < size + 4:
+                    break
+                replies.append(kafka.KafkaSpec().parse(buffer[:size + 4]))
+                buffer = buffer[size + 4:]
+        return replies
+
+    replies = sim.run_process(sim.spawn(client()))
+    assert [reply.stream_id for reply in replies] == [1, 2, 3]
+    assert all(reply.status == "ok" for reply in replies)
+    assert broker.topics == {"t1": 1, "t2": 1, "t3": 1}
+
+
+def test_dubbo_pipelined_burst_split(seed=64):
+    sim, svc_pod, kernel, thread = _world(seed)
+    provider = DubboService("dubbo", svc_pod.node, 20880, pod=svc_pod)
+    provider.register_method("ping", b"pong")
+    provider.start()
+
+    def client():
+        fd = yield from kernel.connect(thread, svc_pod.ip, 20880)
+        burst = (dubbo.encode_request(10, "svc", "ping")
+                 + dubbo.encode_request(11, "svc", "ping"))
+        yield from kernel.write(thread, fd, burst)
+        replies = []
+        buffer = b""
+        while len(replies) < 2:
+            buffer += yield from kernel.read(thread, fd)
+            while len(buffer) >= 16:
+                body_len = int.from_bytes(buffer[12:16], "big")
+                if len(buffer) < 16 + body_len:
+                    break
+                replies.append(
+                    dubbo.DubboSpec().parse(buffer[:16 + body_len]))
+                buffer = buffer[16 + body_len:]
+        return replies
+
+    replies = sim.run_process(sim.spawn(client()))
+    assert [reply.stream_id for reply in replies] == [10, 11]
+    assert provider.invocations == 2

@@ -1,0 +1,160 @@
+"""gRPC protocol: codec, inference priority, and end-to-end tracing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.extra_services import GrpcService
+from repro.apps.runtime import WorkerContext
+from repro.core.span import SpanSide
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.protocols import grpc, http2
+from repro.protocols.base import MessageType
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+class TestGrpcCodec:
+    spec = grpc.GrpcSpec()
+
+    def test_request_round_trip(self):
+        raw = grpc.encode_request("shop.Cart", "AddItem", stream_id=3,
+                                  message=b"item-9")
+        parsed = self.spec.parse(raw)
+        assert parsed.msg_type is MessageType.REQUEST
+        assert parsed.resource == "shop.Cart"
+        assert parsed.operation == "AddItem"
+        assert parsed.stream_id == 3
+
+    def test_ok_response(self):
+        parsed = self.spec.parse(grpc.encode_response(3, grpc.OK,
+                                                      message=b"done"))
+        assert parsed.msg_type is MessageType.RESPONSE
+        assert parsed.status == "ok"
+        assert parsed.status_code == grpc.OK
+
+    def test_error_status_from_trailers(self):
+        parsed = self.spec.parse(
+            grpc.encode_response(3, grpc.UNAVAILABLE))
+        assert parsed.is_error
+        assert parsed.status_code == grpc.UNAVAILABLE
+
+    def test_plain_http2_not_claimed(self):
+        raw = http2.encode_request("GET", "/x", stream_id=1)
+        assert not self.spec.infer(raw)
+
+    def test_http2_spec_would_also_accept_grpc(self):
+        """The ordering in DEFAULT_SPECS is what separates them."""
+        raw = grpc.encode_request("svc", "m", stream_id=1)
+        assert http2.Http2Spec().infer(raw)
+        assert self.spec.infer(raw)
+
+    @given(stream_id=st.integers(min_value=1, max_value=2**31 - 1),
+           status=st.sampled_from([grpc.OK, grpc.NOT_FOUND,
+                                   grpc.INTERNAL, grpc.UNAVAILABLE]))
+    @settings(max_examples=50)
+    def test_property_status_round_trip(self, stream_id, status):
+        parsed = self.spec.parse(grpc.encode_response(stream_id, status))
+        assert parsed.stream_id == stream_id
+        assert parsed.status_code == status
+        assert parsed.is_error == (status != grpc.OK)
+
+
+class TestGrpcEndToEnd:
+    def build(self):
+        sim = Simulator(seed=101)
+        builder = ClusterBuilder(node_count=2)
+        client_pod = builder.add_pod(0, "client-pod")
+        svc_pod = builder.add_pod(1, "grpc-pod")
+        cluster = builder.build()
+        network = Network(sim, cluster)
+        server = DeepFlowServer()
+        agents = []
+        for node in cluster.nodes:
+            agent = server.new_agent(node.kernel, node=node)
+            agent.deploy()
+            agents.append(agent)
+        service = GrpcService("cart-svc", svc_pod.node, 50051,
+                              pod=svc_pod)
+        service.register("shop.Cart", "AddItem",
+                         lambda _req: (grpc.OK, b"added"))
+        service.register("shop.Cart", "Explode",
+                         lambda _req: (grpc.INTERNAL, b""))
+        service.start()
+        kernel = network.kernel_for_node(client_pod.node.name)
+        process = kernel.create_process("grpc-client", client_pod.ip)
+        thread = kernel.create_thread(process)
+
+        class _Shim:
+            pass
+
+        shim = _Shim()
+        shim.kernel = kernel
+        shim.ingress_abi = "read"
+        shim.egress_abi = "write"
+        shim.sim = sim
+        worker = WorkerContext(shim, thread, None)
+        return sim, server, agents, svc_pod, worker
+
+    def test_unary_call_traced(self):
+        sim, server, agents, svc_pod, worker = self.build()
+
+        def client():
+            reply = yield from worker.call_raw(
+                svc_pod.ip, 50051,
+                grpc.encode_request("shop.Cart", "AddItem", stream_id=1,
+                                    with_preface=True))
+            return grpc.GrpcSpec().parse(reply)
+
+        result = sim.run_process(sim.spawn(client()))
+        assert result.status == "ok"
+        sim.run(until=sim.now + 0.3)
+        for agent in agents:
+            agent.flush()
+        spans = server.find_spans(process_name="cart-svc")
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.protocol == "grpc"
+        assert span.operation == "AddItem"
+        assert span.resource == "shop.Cart"
+        assert span.side is SpanSide.SERVER
+
+    def test_internal_error_traced_with_grpc_code(self):
+        sim, server, agents, svc_pod, worker = self.build()
+
+        def client():
+            reply = yield from worker.call_raw(
+                svc_pod.ip, 50051,
+                grpc.encode_request("shop.Cart", "Explode", stream_id=1,
+                                    with_preface=True))
+            return grpc.GrpcSpec().parse(reply)
+
+        result = sim.run_process(sim.spawn(client()))
+        assert result.is_error
+        sim.run(until=sim.now + 0.3)
+        for agent in agents:
+            agent.flush()
+        span = server.find_spans(process_name="cart-svc")[0]
+        assert span.is_error
+        assert span.status_code == grpc.INTERNAL
+
+    def test_client_server_spans_chain(self):
+        sim, server, agents, svc_pod, worker = self.build()
+
+        def client():
+            yield from worker.call_raw(
+                svc_pod.ip, 50051,
+                grpc.encode_request("shop.Cart", "AddItem", stream_id=1,
+                                    with_preface=True))
+
+        sim.run_process(sim.spawn(client()))
+        sim.run(until=sim.now + 0.3)
+        for agent in agents:
+            agent.flush()
+        client_span = server.find_spans(process_name="grpc-client")[0]
+        trace = server.trace(client_span.span_id)
+        assert len(trace) == 2
+        server_span = next(span for span in trace
+                           if span.process_name == "cart-svc")
+        assert server_span.parent_id == client_span.span_id

@@ -1,0 +1,220 @@
+"""End-to-end integration: apps → kernel hooks → agent → server → trace.
+
+This is the paper's core claim exercised whole: zero-code applications
+(no tracing imports, no header injection) produce complete distributed
+traces with correct causality, purely from kernel-visible information.
+"""
+
+import pytest
+
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.runtime import HttpService, Response
+from repro.core.span import SpanKind, SpanSide
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def build_frontend_backend(runtime="threads"):
+    """Two-tier app on a two-node cluster with agents everywhere."""
+    sim = Simulator(seed=11)
+    builder = ClusterBuilder(node_count=3)
+    lg_pod = builder.add_pod(0, "loadgen-pod", labels={"app": "loadgen"})
+    fe_pod = builder.add_pod(1, "frontend-pod", labels={"app": "frontend"})
+    be_pod = builder.add_pod(2, "backend-pod", labels={"app": "backend"})
+    cluster = builder.build()
+    network = Network(sim, cluster)
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+
+    backend = HttpService("backend", be_pod.node, 9000, pod=be_pod,
+                          runtime=runtime, service_time=0.002)
+
+    @backend.route("/api")
+    def api(worker, request):
+        yield from worker.work(0.001)
+        return Response(200, body=b'{"items": []}')
+
+    frontend = HttpService("frontend", fe_pod.node, 8000, pod=fe_pod,
+                           runtime=runtime, service_time=0.001)
+
+    @frontend.route("/")
+    def home(worker, request):
+        upstream = yield from worker.call_http(be_pod.ip, 9000, "GET",
+                                               "/api/items")
+        return Response(upstream.status_code, body=upstream.body)
+
+    backend.start()
+    frontend.start()
+    return sim, network, server, agents, (lg_pod, fe_pod, be_pod)
+
+
+def run_load(sim, agents, lg_pod, fe_pod, rate=20, duration=0.5):
+    generator = LoadGenerator(lg_pod.node, fe_pod.ip, 8000, rate=rate,
+                              duration=duration, connections=2, pod=lg_pod,
+                              name="loadgen")
+    process = generator.run()
+    report = sim.run_process(process)
+    sim.run(until=sim.now + 1.0)
+    for agent in agents:
+        agent.flush()
+    return report
+
+
+class TestZeroCodeTracing:
+    def test_load_completes(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        report = run_load(sim, agents, pods[0], pods[1])
+        assert report.completed == report.sent
+        assert report.errors == 0
+
+    def test_all_four_span_sides_collected(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        report = run_load(sim, agents, pods[0], pods[1])
+        spans = server.store.all_spans()
+        # Two sessions per request (edge + backend), observed from both
+        # ends: 4 syscall spans per request.
+        assert len(spans) == 4 * report.completed
+        sides = {(span.process_name, span.side.value) for span in spans}
+        assert ("loadgen", "c") in sides
+        assert ("frontend", "s") in sides
+        assert ("frontend", "c") in sides
+        assert ("backend", "s") in sides
+
+    def test_trace_assembles_full_causal_chain(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        run_load(sim, agents, pods[0], pods[1], rate=10, duration=0.3)
+        start = server.slowest_span()
+        trace = server.trace(start.span_id)
+        assert len(trace) == 4
+        roots = trace.roots()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.process_name == "loadgen"
+        fe_server = trace.children(root)
+        assert [span.process_name for span in fe_server] == ["frontend"]
+        assert fe_server[0].side is SpanSide.SERVER
+        fe_client = trace.children(fe_server[0])
+        assert [span.side for span in fe_client] == [SpanSide.CLIENT]
+        be_server = trace.children(fe_client[0])
+        assert [span.process_name for span in be_server] == ["backend"]
+
+    def test_traces_do_not_merge_across_requests(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        report = run_load(sim, agents, pods[0], pods[1], rate=10,
+                          duration=0.5)
+        assert report.completed >= 3
+        start = server.slowest_span()
+        trace = server.trace(start.span_id)
+        assert len(trace) == 4  # exactly one request's spans
+
+    def test_spans_carry_protocol_semantics(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        run_load(sim, agents, pods[0], pods[1], rate=5, duration=0.3)
+        backend_spans = server.find_spans(process_name="backend")
+        assert backend_spans
+        span = backend_spans[0]
+        assert span.protocol == "http"
+        assert span.operation == "GET"
+        assert span.resource == "/api/items"
+        assert span.status == "ok"
+        assert span.status_code == 200
+
+    def test_spans_enriched_with_resource_tags(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        run_load(sim, agents, pods[0], pods[1], rate=5, duration=0.3)
+        span = server.find_spans(process_name="backend")[0]
+        assert span.tags.get("pod") == "backend-pod"
+        assert span.tags.get("region") == "region-1"
+        assert "vpc" in span.tags
+
+    def test_flow_metrics_attached(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        run_load(sim, agents, pods[0], pods[1], rate=5, duration=0.3)
+        span = server.find_spans(process_name="backend")[0]
+        assert "tcp.retransmissions" in span.metrics
+        assert span.metrics["tcp.connect_rtt"] > 0
+
+    def test_timing_is_nested(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        run_load(sim, agents, pods[0], pods[1], rate=5, duration=0.3)
+        trace = server.trace(server.slowest_span().span_id)
+        root = trace.roots()[0]
+        for span in trace:
+            if span is root:
+                continue
+            assert root.start_time <= span.start_time
+            assert span.end_time <= root.end_time
+
+    def test_coroutine_runtime_produces_same_trace_shape(self):
+        sim, network, server, agents, pods = build_frontend_backend(
+            runtime="coroutines")
+        report = run_load(sim, agents, pods[0], pods[1], rate=10,
+                          duration=0.3)
+        assert report.errors == 0
+        trace = server.trace(server.slowest_span().span_id)
+        assert len(trace) == 4
+        assert len(trace.roots()) == 1
+
+    def test_undeploy_stops_collection(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        run_load(sim, agents, pods[0], pods[1], rate=5, duration=0.2)
+        count_before = len(server.store)
+        assert count_before > 0
+        for agent in agents:
+            agent.undeploy()
+        run_load(sim, agents, pods[0], pods[1], rate=5, duration=0.2)
+        assert len(server.store) == count_before
+
+
+class TestNetworkSpans:
+    def test_capture_devices_appear_in_trace(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        lg_pod, fe_pod, be_pod = pods
+        # Tap the path between frontend and backend (node2 <-> node3).
+        path = network.route(fe_pod.ip, be_pod.ip)
+        for device in path:
+            agents[1].enable_capture(device)
+        run_load(sim, agents, lg_pod, fe_pod, rate=5, duration=0.3)
+        trace = server.trace(server.slowest_span().span_id)
+        fe_client = next(span for span in trace
+                         if span.process_name == "frontend"
+                         and span.side is SpanSide.CLIENT)
+        be_server = next(span for span in trace
+                         if span.process_name == "backend")
+        # Shared fabric devices (ToR, NICs) also sit on the loadgen →
+        # frontend path, so that hop contributes spans too; check the
+        # frontend → backend hop by flow.
+        net_spans = [span for span in trace
+                     if span.kind is SpanKind.NETWORK
+                     and span.flow_key == fe_client.flow_key]
+        assert len(net_spans) == len(path)
+        # Chained in path order between frontend client and backend server.
+        ordered = sorted(net_spans, key=lambda span: span.path_index)
+        assert ordered[0].parent_id == fe_client.span_id
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.parent_id == earlier.span_id
+        assert be_server.parent_id == ordered[-1].span_id
+
+    def test_network_span_timestamps_between_endpoints(self):
+        sim, network, server, agents, pods = build_frontend_backend()
+        lg_pod, fe_pod, be_pod = pods
+        for device in network.route(fe_pod.ip, be_pod.ip):
+            agents[1].enable_capture(device)
+        run_load(sim, agents, lg_pod, fe_pod, rate=5, duration=0.3)
+        trace = server.trace(server.slowest_span().span_id)
+        fe_client = next(span for span in trace
+                         if span.process_name == "frontend"
+                         and span.side is SpanSide.CLIENT)
+        net_spans = [span for span in trace
+                     if span.kind is SpanKind.NETWORK
+                     and span.flow_key == fe_client.flow_key]
+        assert net_spans
+        for span in net_spans:
+            assert span.start_time >= fe_client.start_time
+            assert span.end_time <= fe_client.end_time

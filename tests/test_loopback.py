@@ -1,0 +1,77 @@
+"""Loopback traffic: a process calling a listener on its own pod IP.
+
+The route is empty (no devices), delivery is immediate, and both
+endpoints share a kernel — the agent still produces correctly paired
+client and server spans, since all association keys are kernel-local.
+"""
+
+from repro.apps.runtime import HttpService, Response, WorkerContext
+from repro.core.span import SpanSide
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def test_loopback_request_traced():
+    sim = Simulator(seed=55)
+    builder = ClusterBuilder(node_count=1)
+    pod = builder.add_pod(0, "solo-pod")
+    cluster = builder.build()
+    network = Network(sim, cluster)
+    server = DeepFlowServer()
+    agent = server.new_agent(cluster.nodes[0].kernel,
+                             node=cluster.nodes[0])
+    agent.deploy()
+
+    service = HttpService("local-svc", pod.node, 9000, pod=pod,
+                          service_time=0.001)
+
+    @service.route("/")
+    def home(worker, request):
+        yield from worker.work(0.0001)
+        return Response(200, body=b"self")
+
+    service.start()
+    kernel = cluster.nodes[0].kernel
+    process = kernel.create_process("local-client", pod.ip)
+    thread = kernel.create_thread(process)
+
+    class _Shim:
+        pass
+
+    shim = _Shim()
+    shim.kernel = kernel
+    shim.ingress_abi = "read"
+    shim.egress_abi = "write"
+    shim.sim = sim
+    worker = WorkerContext(shim, thread, None)
+
+    def client():
+        reply = yield from worker.call_http(pod.ip, 9000, "GET", "/me")
+        return reply
+
+    reply = sim.run_process(sim.spawn(client()))
+    assert reply.status_code == 200
+    sim.run(until=sim.now + 0.2)
+    agent.flush()
+    spans = server.store.all_spans()
+    assert len(spans) == 2
+    client_span = next(span for span in spans
+                       if span.side is SpanSide.CLIENT)
+    server_span = next(span for span in spans
+                       if span.side is SpanSide.SERVER)
+    trace = server.trace(client_span.span_id)
+    assert len(trace) == 2
+    assert server_span.parent_id == client_span.span_id
+    # Same pod, both directions: the tags agree.
+    assert client_span.tags.get("pod") == "solo-pod"
+    assert server_span.tags.get("pod") == "solo-pod"
+
+
+def test_loopback_route_has_no_devices():
+    sim = Simulator(seed=56)
+    builder = ClusterBuilder(node_count=1)
+    pod = builder.add_pod(0, "solo-pod")
+    network = Network(sim, builder.build())
+    assert network.route(pod.ip, pod.ip) == []

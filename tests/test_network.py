@@ -1,0 +1,290 @@
+"""Tests for topology routing, transport, faults, captures, and metrics."""
+
+import pytest
+
+from repro.network.captures import CaptureTap
+from repro.network.faults import (
+    ArpStormFault,
+    DropFault,
+    LatencyFault,
+    RefuseConnectionsFault,
+    ResetFault,
+)
+from repro.network.topology import ClusterBuilder, Device, DeviceKind
+from repro.network.transport import Network
+from repro.sim.engine import Simulator
+
+
+def make_pair(node_count=2, middlebox=None, seed=7):
+    sim = Simulator(seed=seed)
+    builder = ClusterBuilder(node_count=node_count)
+    client_pod = builder.add_pod(0, "client-pod")
+    server_pod = builder.add_pod(1 % node_count, "server-pod")
+    cluster = builder.build()
+    if middlebox is not None:
+        cluster.add_middlebox(middlebox)
+    network = Network(sim, cluster)
+    return sim, cluster, network, client_pod, server_pod
+
+
+def run_request(sim, cluster, network, client_pod, server_pod,
+                payload=b"req", reply=b"resp", port=8080):
+    """One request/response over a fresh connection; returns client result."""
+    server_node = server_pod.node
+    client_node = client_pod.node
+    server_kernel = network.kernel_for_node(server_node.name)
+    client_kernel = network.kernel_for_node(client_node.name)
+    server_proc = server_kernel.create_process("server", server_pod.ip)
+    server_thread = server_kernel.create_thread(server_proc)
+    listener = server_kernel.listen(server_proc, port)
+
+    def server_loop():
+        fd = yield from server_kernel.accept(server_thread, listener)
+        try:
+            yield from server_kernel.read(server_thread, fd)
+        except ConnectionResetError:
+            return
+        yield from server_kernel.write(server_thread, fd, reply)
+
+    client_proc = client_kernel.create_process("client", client_pod.ip)
+    client_thread = client_kernel.create_thread(client_proc)
+
+    def client_main():
+        fd = yield from client_kernel.connect(
+            client_thread, server_pod.ip, port)
+        yield from client_kernel.write(client_thread, fd, payload)
+        return (yield from client_kernel.read(client_thread, fd))
+
+    sim.spawn(server_loop(), name="server")
+    return sim.spawn(client_main(), name="client")
+
+
+class TestRouting:
+    def test_cross_node_path_shape(self):
+        _, cluster, network, client_pod, server_pod = make_pair()
+        path = network.route(client_pod.ip, server_pod.ip)
+        kinds = [device.kind for device in path]
+        assert kinds == [
+            DeviceKind.POD_VETH, DeviceKind.VSWITCH, DeviceKind.NODE_NIC,
+            DeviceKind.PHYSICAL_NIC, DeviceKind.TOR_SWITCH,
+            DeviceKind.PHYSICAL_NIC, DeviceKind.NODE_NIC,
+            DeviceKind.VSWITCH, DeviceKind.POD_VETH,
+        ]
+
+    def test_intra_node_path_uses_shared_vswitch_once(self):
+        sim = Simulator()
+        builder = ClusterBuilder(node_count=1)
+        a = builder.add_pod(0, "pod-a")
+        b = builder.add_pod(0, "pod-b")
+        network = Network(sim, builder.build())
+        path = network.route(a.ip, b.ip)
+        kinds = [device.kind for device in path]
+        assert kinds == [DeviceKind.POD_VETH, DeviceKind.VSWITCH,
+                         DeviceKind.POD_VETH]
+
+    def test_loopback_path_is_empty(self):
+        _, _, network, client_pod, _ = make_pair()
+        assert network.route(client_pod.ip, client_pod.ip) == []
+
+    def test_unknown_endpoint_raises(self):
+        _, _, network, client_pod, _ = make_pair()
+        with pytest.raises(ValueError, match="no route"):
+            network.route(client_pod.ip, "192.168.99.99")
+
+    def test_middlebox_on_cross_node_path(self):
+        gateway = Device("gw-1", DeviceKind.L4_GATEWAY)
+        _, _, network, client_pod, server_pod = make_pair(middlebox=gateway)
+        path = network.route(client_pod.ip, server_pod.ip)
+        assert gateway in path
+
+    def test_host_network_endpoint_routes_from_vswitch(self):
+        _, cluster, network, client_pod, _ = make_pair()
+        node_ip = cluster.nodes[1].ip
+        path = network.route(client_pod.ip, node_ip)
+        assert path[-1].kind == DeviceKind.VSWITCH
+
+
+class TestTransport:
+    def test_round_trip_and_latency(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        assert sim.run_process(process) == b"resp"
+        # Request travelled 9 devices each way plus handshake.
+        assert sim.now > 2 * network.path_latency(
+            network.route(client_pod.ip, server_pod.ip))
+
+    def test_flow_metrics_recorded(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        sim.run_process(process)
+        metrics = network.metrics.all()
+        assert len(metrics) == 1
+        flow = metrics[0]
+        assert flow.segments_c2s == 1
+        assert flow.segments_s2c == 1
+        assert flow.bytes_c2s == 3
+        assert flow.bytes_s2c == 4
+        assert flow.connect_rtt > 0
+        assert flow.retransmissions == 0
+
+    def test_metrics_lookup_by_either_direction(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        sim.run_process(process)
+        flow = network.metrics.all()[0]
+        assert network.metrics_for(flow.five_tuple) is flow
+        assert network.metrics_for(flow.five_tuple.reversed()) is flow
+
+
+class TestFaults:
+    def test_drop_fault_causes_retransmissions_but_delivers(self):
+        sim, cluster, network, client_pod, server_pod = make_pair(seed=3)
+        cluster.tor.add_fault(DropFault(0.5))
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        assert sim.run_process(process) == b"resp"
+        flow = network.metrics.all()[0]
+        assert flow.retransmissions > 0
+
+    def test_latency_fault_slows_delivery(self):
+        def elapsed(with_fault):
+            sim, cluster, network, client_pod, server_pod = make_pair()
+            if with_fault:
+                cluster.tor.add_fault(LatencyFault(extra=0.05))
+            process = run_request(sim, cluster, network, client_pod,
+                                  server_pod)
+            sim.run_process(process)
+            return sim.now
+
+        assert elapsed(True) > elapsed(False) + 0.05
+
+    def test_reset_fault_resets_both_endpoints(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        cluster.tor.add_fault(ResetFault(1.0))
+
+        server_kernel = network.kernel_for_node(server_pod.node.name)
+        client_kernel = network.kernel_for_node(client_pod.node.name)
+        server_proc = server_kernel.create_process("server", server_pod.ip)
+        server_thread = server_kernel.create_thread(server_proc)
+        listener = server_kernel.listen(server_proc, 8080)
+
+        outcomes = []
+
+        def server_loop():
+            fd = yield from server_kernel.accept(server_thread, listener)
+            try:
+                yield from server_kernel.read(server_thread, fd)
+            except ConnectionResetError:
+                outcomes.append("server-reset")
+
+        client_proc = client_kernel.create_process("client", client_pod.ip)
+        client_thread = client_kernel.create_thread(client_proc)
+
+        def client_main():
+            fd = yield from client_kernel.connect(
+                client_thread, server_pod.ip, 8080)
+            yield from client_kernel.write(client_thread, fd, b"data")
+            try:
+                yield from client_kernel.read(client_thread, fd)
+            except ConnectionResetError:
+                outcomes.append("client-reset")
+
+        sim.spawn(server_loop())
+        sim.spawn(client_main())
+        sim.run()
+        assert sorted(outcomes) == ["client-reset", "server-reset"]
+        assert network.metrics.all()[0].resets == 1
+
+    def test_arp_storm_fault_inflates_arp_and_latency(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        nic = cluster.machines[1].nic
+        nic.add_fault(ArpStormFault(extra_arps_per_connect=5,
+                                    stall_range=(0.5, 0.5)))
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        sim.run_process(process)
+        flow = network.metrics.all()[0]
+        assert flow.arp_requests >= 5
+        assert flow.connect_rtt >= 0.5
+        assert nic.arp_requests >= 5
+
+    def test_refuse_fault_blocks_connection(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        cluster.tor.add_fault(RefuseConnectionsFault())
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        with pytest.raises(ConnectionRefusedError):
+            sim.run_process(process)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            DropFault(1.5)
+        with pytest.raises(ValueError):
+            ResetFault(-0.1)
+
+
+class TestCaptures:
+    def test_capture_records_same_tcp_seq_at_every_device(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        tap = CaptureTap()
+        path = network.route(client_pod.ip, server_pod.ip)
+        for device in path:
+            network.enable_capture(device, tap)
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        sim.run_process(process)
+        c2s = [r for r in tap.records if r.direction == "c2s"]
+        s2c = [r for r in tap.records if r.direction == "s2c"]
+        assert len(c2s) == len(path)
+        assert len(s2c) == len(path)
+        assert len({record.tcp_seq for record in c2s}) == 1
+        assert len({record.tcp_seq for record in s2c}) == 1
+
+    def test_capture_path_index_is_c2s_oriented(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        tap = CaptureTap()
+        path = network.route(client_pod.ip, server_pod.ip)
+        for device in path:
+            network.enable_capture(device, tap)
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        sim.run_process(process)
+        c2s = sorted((r for r in tap.records if r.direction == "c2s"),
+                     key=lambda r: r.timestamp)
+        s2c = sorted((r for r in tap.records if r.direction == "s2c"),
+                     key=lambda r: r.timestamp)
+        assert [r.path_index for r in c2s] == list(range(len(path)))
+        # The response traverses in reverse but indices stay c2s-oriented.
+        assert [r.path_index for r in s2c] == list(
+            reversed(range(len(path))))
+
+    def test_capture_timestamps_increase_along_path(self):
+        sim, cluster, network, client_pod, server_pod = make_pair()
+        tap = CaptureTap()
+        for device in network.route(client_pod.ip, server_pod.ip):
+            network.enable_capture(device, tap)
+        process = run_request(sim, cluster, network, client_pod, server_pod)
+        sim.run_process(process)
+        c2s = [r for r in tap.records if r.direction == "c2s"]
+        timestamps = [r.timestamp for r in c2s]
+        assert timestamps == sorted(timestamps)
+        assert len(set(timestamps)) == len(timestamps)
+
+
+class TestTags:
+    def test_pod_tags_include_k8s_and_cloud(self):
+        _, cluster, _, client_pod, _ = make_pair()
+        tags = client_pod.tags()
+        assert tags["pod"] == "client-pod"
+        assert tags["node"] == "node-1"
+        assert tags["region"] == "region-1"
+        assert tags["vpc"] == "vpc-1"
+
+    def test_custom_labels_flow_into_tags(self):
+        sim = Simulator()
+        builder = ClusterBuilder(node_count=1)
+        pod = builder.add_pod(0, "tagged", labels={"version": "v2",
+                                                   "commit": "abc123"})
+        tags = pod.tags()
+        assert tags["version"] == "v2"
+        assert tags["commit"] == "abc123"
+
+    def test_device_lookup_by_name(self):
+        _, cluster, _, client_pod, _ = make_pair()
+        device = cluster.device_by_name("client-pod/veth")
+        assert device is client_pod.veth

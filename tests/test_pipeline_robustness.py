@@ -1,0 +1,267 @@
+"""Failure injection and robustness tests for the agent pipeline.
+
+Stability is one of the paper's five requirements (Table 1): the agent
+must degrade gracefully — drop data, never crash or corrupt — under
+buffer overflow, buggy programs, message loss, chunked messages, and
+live attach/detach.
+"""
+
+import pytest
+
+from repro.agent.agent import AgentConfig, DeepFlowAgent
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.runtime import HttpService, Response
+from repro.core.span import SpanKind, SpanSide
+from repro.kernel.ebpf import BPFProgram
+from repro.network.faults import DropFault
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def small_world(seed=91, agent_config=None):
+    sim = Simulator(seed=seed)
+    builder = ClusterBuilder(node_count=2)
+    client_pod = builder.add_pod(0, "client-pod")
+    service_pod = builder.add_pod(1, "svc-pod")
+    cluster = builder.build()
+    network = Network(sim, cluster)
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = DeepFlowAgent(node.kernel, server.register_agent(),
+                              server=server, node=node,
+                              config=agent_config)
+        agent.deploy()
+        agents.append(agent)
+    service = HttpService("svc", service_pod.node, 9000, pod=service_pod,
+                          service_time=0.001)
+
+    @service.route("/")
+    def home(worker, request):
+        yield from worker.work(0.0001)
+        return Response(200)
+
+    service.start()
+    return sim, cluster, network, server, agents, client_pod, service_pod
+
+
+def drive(sim, agents, client_pod, service_pod, rate=20, duration=0.5):
+    generator = LoadGenerator(client_pod.node, service_pod.ip, 9000,
+                              rate=rate, duration=duration, connections=2,
+                              pod=client_pod, name="client")
+    report = sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.5)
+    for agent in agents:
+        agent.flush(expire=True)
+    return report
+
+
+class TestPerfBufferOverflow:
+    def test_overflow_drops_records_but_agent_survives(self):
+        config = AgentConfig(perf_buffer_capacity=8)
+        sim, cluster, network, server, agents, client_pod, service_pod = \
+            small_world(agent_config=config)
+        report = drive(sim, agents, client_pod, service_pod, rate=40,
+                       duration=0.5)
+        assert report.errors == 0  # the app is unaffected
+        total_dropped = sum(agent.perf.dropped for agent in agents)
+        assert total_dropped > 0
+        # Spans were lost, not corrupted: whatever was stored is valid.
+        for span in server.store.all_spans():
+            assert span.end_time >= span.start_time
+
+    def test_ample_buffer_drops_nothing(self):
+        sim, cluster, network, server, agents, client_pod, service_pod = \
+            small_world()
+        drive(sim, agents, client_pod, service_pod)
+        assert all(agent.perf.dropped == 0 for agent in agents)
+
+
+class TestBuggyProgramContainment:
+    def test_third_party_program_crash_does_not_break_tracing(self):
+        sim, cluster, network, server, agents, client_pod, service_pod = \
+            small_world()
+
+        def buggy(ctx):
+            raise RuntimeError("bug in third-party BPF program")
+
+        program = BPFProgram("buggy", buggy)
+        for node in cluster.nodes:
+            node.kernel.hooks.attach("sys_enter_read", program)
+        report = drive(sim, agents, client_pod, service_pod, rate=10,
+                       duration=0.3)
+        assert report.errors == 0
+        assert program.runtime_faults > 0
+        # DeepFlow's own spans still complete.
+        assert server.find_spans(process_name="svc")
+
+
+class TestAttachDetachLifecycle:
+    def test_redeploy_resumes_collection(self):
+        sim, cluster, network, server, agents, client_pod, service_pod = \
+            small_world()
+        drive(sim, agents, client_pod, service_pod, rate=10, duration=0.2)
+        first_count = len(server.store)
+        assert first_count > 0
+        for agent in agents:
+            agent.undeploy()
+        drive(sim, agents, client_pod, service_pod, rate=10, duration=0.2)
+        assert len(server.store) == first_count
+        for agent in agents:
+            agent.deploy()
+        drive(sim, agents, client_pod, service_pod, rate=10, duration=0.2)
+        assert len(server.store) > first_count
+
+    def test_double_deploy_rejected(self):
+        sim, cluster, network, server, agents, *_ = small_world()
+        with pytest.raises(RuntimeError, match="already deployed"):
+            agents[0].deploy()
+
+    def test_attach_mid_traffic_misses_inflight_enter(self):
+        """Attaching while a syscall is blocked: its exit has no enter —
+        the record is skipped, nothing crashes (the documented race)."""
+        sim, cluster, network, server, agents, client_pod, service_pod = \
+            small_world()
+        for agent in agents:
+            agent.undeploy()
+
+        kernel = network.kernel_for_node(client_pod.node.name)
+        process = kernel.create_process("early", client_pod.ip)
+        thread = kernel.create_thread(process)
+
+        def early_client():
+            fd = yield from kernel.connect(thread, service_pod.ip, 9000)
+            from repro.protocols import http1
+            yield from kernel.write(thread, fd,
+                                    http1.encode_request("GET", "/"))
+            # Blocked in read when the agent attaches below.
+            return (yield from kernel.read(thread, fd))
+
+        client = sim.spawn(early_client())
+        sim.run(until=0.0005)  # connect done, read blocked
+        for agent in agents:
+            agent.deploy()
+        result = sim.run_process(client)
+        assert result  # the app is fine
+        sim.run(until=sim.now + 0.2)
+        for agent in agents:
+            agent.flush()
+        # No half-merged garbage: any span stored is well-formed.
+        for span in server.store.all_spans():
+            assert span.end_time >= span.start_time
+
+
+class TestPollingMode:
+    def test_background_polling_ships_spans(self):
+        sim, cluster, network, server, agents, client_pod, service_pod = \
+            small_world()
+        for agent in agents:
+            agent.start_polling(interval=0.01)
+        generator = LoadGenerator(client_pod.node, service_pod.ip, 9000,
+                                  rate=20, duration=0.3, connections=2,
+                                  pod=client_pod, name="client")
+        report = sim.run_process(generator.run())
+        sim.run(until=sim.now + 0.1)  # pollers run on their own
+        assert report.errors == 0
+        assert len(server.store) > 0
+        for agent in agents:
+            agent.stop_polling()
+
+
+class TestChunkedMessages:
+    def test_multi_syscall_message_produces_single_span(self):
+        """§3.3.1: only the first syscall of a message is processed;
+        later chunks are absorbed as continuations."""
+        sim = Simulator(seed=92)
+        builder = ClusterBuilder(node_count=2)
+        client_pod = builder.add_pod(0, "client-pod")
+        service_pod = builder.add_pod(1, "svc-pod")
+        cluster = builder.build()
+        network = Network(sim, cluster)
+        server = DeepFlowServer()
+        agents = []
+        for node in cluster.nodes:
+            agent = server.new_agent(node.kernel, node=node)
+            agent.deploy()
+            agents.append(agent)
+        service = HttpService("svc", service_pod.node, 9000,
+                              pod=service_pod, service_time=0.001)
+
+        @service.route("/upload")
+        def upload(worker, request):
+            yield from worker.work(0.0001)
+            return Response(200, body=b"stored")
+
+        service.start()
+        kernel = network.kernel_for_node(client_pod.node.name)
+        process = kernel.create_process("uploader", client_pod.ip)
+        thread = kernel.create_thread(process)
+
+        from repro.apps.runtime import WorkerContext
+
+        class _Shim:
+            pass
+
+        shim = _Shim()
+        shim.kernel = kernel
+        shim.ingress_abi = "read"
+        shim.egress_abi = "write"
+        shim.sim = sim
+        worker = WorkerContext(shim, thread, None)
+
+        def uploader():
+            body = b"x" * 4000
+            response = yield from worker.call_http(
+                service_pod.ip, 9000, "POST", "/upload", body=body,
+                chunk_size=512)  # 8+ syscalls for one message
+            return response
+
+        response = sim.run_process(sim.spawn(uploader()))
+        assert response.status_code == 200
+        sim.run(until=sim.now + 0.3)
+        for agent in agents:
+            agent.flush()
+        uploader_spans = server.find_spans(process_name="uploader")
+        assert len(uploader_spans) == 1
+        span = uploader_spans[0]
+        assert span.side is SpanSide.CLIENT
+        # The request byte count covers every chunk, not just the first.
+        assert span.request_bytes > 4000
+        svc_spans = server.find_spans(process_name="svc")
+        assert len(svc_spans) == 1
+        assert svc_spans[0].request_bytes > 4000
+
+
+class TestLossyNetwork:
+    def test_retransmissions_do_not_duplicate_spans(self):
+        sim, cluster, network, server, agents, client_pod, service_pod = \
+            small_world(seed=93)
+        # Tap the path and make it lossy: captured duplicates must be
+        # deduplicated by (direction, seq).
+        path = network.route(client_pod.ip, service_pod.ip)
+        for device in path:
+            agents[0].enable_capture(device)
+        cluster.tor.add_fault(DropFault(0.3))
+        report = drive(sim, agents, client_pod, service_pod, rate=10,
+                       duration=0.4)
+        assert report.errors == 0
+        flow_metrics = network.metrics.all()
+        assert sum(m.retransmissions for m in flow_metrics) > 0
+        assert agents[0].flow_builder.duplicates > 0
+        # Exactly one network span per (device, message) pair.
+        net_spans = [span for span in server.store.all_spans()
+                     if span.kind is SpanKind.NETWORK]
+        keys = [(span.device_name, span.flow_key, span.req_tcp_seq)
+                for span in net_spans]
+        assert len(keys) == len(set(keys))
+
+    def test_spans_carry_retransmission_metrics(self):
+        sim, cluster, network, server, agents, client_pod, service_pod = \
+            small_world(seed=94)
+        cluster.tor.add_fault(DropFault(0.3))
+        drive(sim, agents, client_pod, service_pod, rate=10, duration=0.4)
+        spans = server.find_spans(process_name="svc")
+        assert any(span.metrics.get("tcp.retransmissions", 0) > 0
+                   for span in spans)

@@ -1,0 +1,115 @@
+"""Property-based fuzzing of every protocol parser.
+
+The agent parses payloads captured from arbitrary processes; a malformed
+(or adversarial) payload must never crash the pipeline — parsers return
+None or a message, never raise.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import DEFAULT_SPECS, ProtocolInferenceEngine
+from repro.protocols import amqp, dns, dubbo, grpc, http1, http2, kafka
+from repro.protocols import mqtt, mysql, redis, tls
+from repro.protocols.base import MessageType, ParsedMessage
+
+VALID_SAMPLES = [
+    http1.encode_request("GET", "/x"),
+    http1.encode_response(200),
+    http2.encode_request("GET", "/x", stream_id=1),
+    http2.encode_response(200, stream_id=1),
+    dns.encode_query(1, "a.b"),
+    dns.encode_response(1, "a.b", "1.2.3.4"),
+    redis.encode_request("GET", "k"),
+    redis.encode_response("OK"),
+    mysql.encode_query("SELECT 1"),
+    mysql.encode_ok(),
+    kafka.encode_request(0, 1, "t"),
+    kafka.encode_response(1),
+    mqtt.encode_publish(1, "t"),
+    mqtt.encode_puback(1),
+    dubbo.encode_request(1, "s", "m"),
+    dubbo.encode_response(1),
+    amqp.encode_publish(1, 1, "q"),
+    amqp.encode_ack(1, 1),
+    grpc.encode_request("svc.Api", "Call", stream_id=1),
+    grpc.encode_response(1),
+    tls.encrypt(b"x"),
+]
+
+
+@given(payload=st.binary(min_size=0, max_size=300))
+@settings(max_examples=300)
+def test_no_parser_raises_on_arbitrary_bytes(payload):
+    for spec in DEFAULT_SPECS:
+        inferred = spec.infer(payload)
+        assert inferred in (True, False)
+        result = spec.parse(payload)
+        assert result is None or isinstance(result, ParsedMessage)
+
+
+@given(payload=st.binary(min_size=0, max_size=300),
+       socket_id=st.integers(min_value=0, max_value=10))
+@settings(max_examples=200)
+def test_inference_engine_never_raises(payload, socket_id):
+    engine = ProtocolInferenceEngine()
+    result = engine.parse(socket_id, payload)
+    assert result is None or isinstance(result, ParsedMessage)
+
+
+@given(sample=st.sampled_from(VALID_SAMPLES),
+       cut=st.integers(min_value=0, max_value=300))
+@settings(max_examples=200)
+def test_truncated_valid_messages_never_crash(sample, cut):
+    """Prefixes of valid messages (partial reads) parse or return None."""
+    prefix = sample[:cut]
+    for spec in DEFAULT_SPECS:
+        result = spec.parse(prefix)
+        assert result is None or isinstance(result, ParsedMessage)
+
+
+@given(sample=st.sampled_from(VALID_SAMPLES),
+       flips=st.lists(st.tuples(st.integers(min_value=0, max_value=299),
+                                st.integers(min_value=0, max_value=255)),
+                      max_size=4))
+@settings(max_examples=200)
+def test_bitflipped_messages_never_crash(sample, flips):
+    data = bytearray(sample)
+    for position, value in flips:
+        if position < len(data):
+            data[position] = value
+    payload = bytes(data)
+    engine = ProtocolInferenceEngine()
+    result = engine.parse(1, payload)
+    assert result is None or isinstance(result, ParsedMessage)
+
+
+@given(a=st.sampled_from(VALID_SAMPLES), b=st.sampled_from(VALID_SAMPLES))
+@settings(max_examples=150)
+def test_concatenated_messages_never_crash(a, b):
+    """Coalesced reads can glue two messages together."""
+    for spec in DEFAULT_SPECS:
+        result = spec.parse(a + b)
+        assert result is None or isinstance(result, ParsedMessage)
+
+
+@given(payload=st.binary(min_size=1, max_size=100))
+@settings(max_examples=150)
+def test_at_most_reasonable_specs_claim_random_bytes(payload):
+    """Random bytes should rarely satisfy a structured-format check;
+    never more than two specs at once (http1's text heuristic and one
+    binary format can occasionally coincide)."""
+    claimants = [spec.name for spec in DEFAULT_SPECS
+                 if spec.infer(payload)]
+    assert len(claimants) <= 2, claimants
+
+
+@given(sample=st.sampled_from(VALID_SAMPLES))
+@settings(max_examples=60)
+def test_parsed_message_types_are_classified(sample):
+    engine = ProtocolInferenceEngine()
+    message = engine.parse(1, sample)
+    assert message is not None
+    assert message.msg_type in (MessageType.REQUEST, MessageType.RESPONSE,
+                                MessageType.UNKNOWN)
+    assert message.size == len(sample)

@@ -1,0 +1,131 @@
+"""Tests for the per-connection protocol inference engine."""
+
+from repro.protocols import DEFAULT_SPECS, ProtocolInferenceEngine
+from repro.protocols import amqp, dns, dubbo, http1, http2, kafka
+from repro.protocols import mqtt, mysql, redis, tls
+from repro.protocols.base import MessageType
+
+
+def _engine():
+    return ProtocolInferenceEngine()
+
+
+SAMPLES = {
+    "http": http1.encode_request("GET", "/x"),
+    "http2": http2.encode_request("GET", "/x", stream_id=1,
+                                  with_preface=True),
+    "dns": dns.encode_query(9, "svc.local"),
+    "redis": redis.encode_request("GET", "k"),
+    "mysql": mysql.encode_query("SELECT 1"),
+    "kafka": kafka.encode_request(kafka.API_FETCH, 1, "topic"),
+    "mqtt": mqtt.encode_publish(2, "t", b"x"),
+    "dubbo": dubbo.encode_request(3, "svc", "m"),
+    "amqp": amqp.encode_publish(1, 4, "q"),
+    "tls": tls.encrypt(b"secret"),
+}
+
+
+class TestClassification:
+    def test_every_protocol_classified_correctly(self):
+        engine = _engine()
+        for index, (expected, payload) in enumerate(SAMPLES.items()):
+            spec = engine.classify(index, payload)
+            assert spec is not None, expected
+            assert spec.name == expected
+
+    def test_classification_is_sticky(self):
+        engine = _engine()
+        engine.classify(1, SAMPLES["redis"])
+        # Even an HTTP-looking payload now parses with the sticky spec.
+        assert engine.spec_for(1).name == "redis"
+        spec = engine.classify(1, SAMPLES["http"])
+        assert spec.name == "redis"
+
+    def test_one_time_inference_per_connection(self):
+        engine = _engine()
+        engine.classify(5, SAMPLES["http"])
+        attempts = engine.inference_attempts
+        engine.classify(5, SAMPLES["http"])
+        engine.classify(5, SAMPLES["http"])
+        assert engine.inference_attempts == attempts
+
+    def test_unknown_payload_stays_unclassified(self):
+        engine = _engine()
+        assert engine.classify(2, b"\x00\x00") is None
+        assert engine.spec_for(2) is None
+
+    def test_forget_allows_reclassification(self):
+        engine = _engine()
+        engine.classify(3, SAMPLES["redis"])
+        engine.forget(3)
+        assert engine.classify(3, SAMPLES["http"]).name == "http"
+
+    def test_user_supplied_spec_takes_priority(self):
+        from repro.protocols.base import ParsedMessage, ProtocolSpec
+
+        class GreedySpec(ProtocolSpec):
+            name = "custom"
+
+            def infer(self, payload):
+                return payload.startswith(b"GET")
+
+            def parse(self, payload):
+                return ParsedMessage(protocol="custom",
+                                     msg_type=MessageType.REQUEST)
+
+        engine = ProtocolInferenceEngine(user_specs=[GreedySpec()])
+        assert engine.classify(1, SAMPLES["http"]).name == "custom"
+
+
+class TestParsing:
+    def test_parse_classifies_then_parses(self):
+        engine = _engine()
+        message = engine.parse(1, SAMPLES["dns"])
+        assert message.protocol == "dns"
+        assert message.msg_type is MessageType.REQUEST
+
+    def test_parse_empty_payload_returns_none(self):
+        assert _engine().parse(1, b"") is None
+
+    def test_continuation_segment_returns_none(self):
+        engine = _engine()
+        engine.parse(1, SAMPLES["http2"])
+        data_frame = http2._frame(http2.FRAME_DATA, 0, 1, b"more body")
+        assert engine.parse(1, data_frame) is None
+
+    def test_response_parsed_with_request_inferred_spec(self):
+        engine = _engine()
+        engine.parse(1, SAMPLES["kafka"])
+        message = engine.parse(1, kafka.encode_response(1))
+        assert message.protocol == "kafka"
+        assert message.msg_type is MessageType.RESPONSE
+
+
+class TestCrossInference:
+    def test_no_sample_misclassified_by_another_spec(self):
+        """Each sample must classify as its own protocol, fresh engine."""
+        for expected, payload in SAMPLES.items():
+            engine = _engine()
+            assert engine.classify(0, payload).name == expected
+
+    def test_default_specs_cover_eleven_protocols(self):
+        assert len(DEFAULT_SPECS) == 11
+        names = {spec.name for spec in DEFAULT_SPECS}
+        assert names == {"grpc", "http", "http2", "dns", "redis", "mysql",
+                         "kafka", "mqtt", "dubbo", "amqp", "tls"}
+
+    def test_multiplexed_flags(self):
+        multiplexed = {spec.name for spec in DEFAULT_SPECS
+                       if spec.multiplexed}
+        assert multiplexed == {"grpc", "http2", "dns", "kafka", "mqtt",
+                               "dubbo", "amqp"}
+
+    def test_grpc_takes_priority_over_plain_http2(self):
+        from repro.protocols import grpc
+        engine = _engine()
+        payload = grpc.encode_request("shop.Cart", "AddItem", stream_id=1,
+                                      with_preface=True)
+        assert engine.classify(1, payload).name == "grpc"
+        # Plain HTTP/2 still classifies as http2.
+        engine2 = _engine()
+        assert engine2.classify(1, SAMPLES["http2"]).name == "http2"

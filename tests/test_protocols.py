@@ -1,0 +1,359 @@
+"""Unit + property-based tests for every protocol codec."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import MessageType
+from repro.protocols import amqp, dns, dubbo, http1, http2, kafka
+from repro.protocols import mqtt, mysql, redis, tls
+
+_names = st.text(alphabet=string.ascii_lowercase + string.digits,
+                 min_size=1, max_size=20)
+_paths = _names.map(lambda s: "/" + s)
+_domains = st.lists(_names, min_size=1, max_size=4).map(".".join)
+
+
+class TestHttp1:
+    spec = http1.Http1Spec()
+
+    def test_request_round_trip(self):
+        raw = http1.encode_request("GET", "/api/users",
+                                   headers={"X-Request-ID": "abc-123"})
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.REQUEST
+        assert message.operation == "GET"
+        assert message.resource == "/api/users"
+        assert message.x_request_id == "abc-123"
+
+    def test_response_round_trip(self):
+        raw = http1.encode_response(404, body=b"missing")
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.RESPONSE
+        assert message.status_code == 404
+        assert message.is_error
+
+    def test_2xx_is_ok(self):
+        assert self.spec.parse(http1.encode_response(201)).status == "ok"
+
+    def test_traceparent_extraction(self):
+        raw = http1.encode_request(
+            "POST", "/x", headers={"traceparent": "00-abc-def-01"})
+        assert self.spec.parse(raw).traceparent == "00-abc-def-01"
+
+    def test_infer_accepts_http_rejects_binary(self):
+        assert self.spec.infer(b"GET / HTTP/1.1\r\n\r\n")
+        assert self.spec.infer(b"HTTP/1.1 200 OK\r\n\r\n")
+        assert not self.spec.infer(b"\x00\x01\x02\x03")
+
+    def test_parse_garbage_returns_none(self):
+        assert self.spec.parse(b"NOT A REAL THING") is None
+
+    @given(method=st.sampled_from(http1.METHODS), path=_paths,
+           body=st.binary(max_size=64))
+    @settings(max_examples=50)
+    def test_property_request_round_trip(self, method, path, body):
+        message = self.spec.parse(http1.encode_request(method, path,
+                                                       body=body))
+        assert message.operation == method
+        assert message.resource == path
+        assert message.msg_type is MessageType.REQUEST
+
+    @given(code=st.integers(min_value=100, max_value=599))
+    @settings(max_examples=30)
+    def test_property_status_classification(self, code):
+        message = self.spec.parse(http1.encode_response(code))
+        assert message.status_code == code
+        assert message.status == ("error" if code >= 400 else "ok")
+
+
+class TestHttp2:
+    spec = http2.Http2Spec()
+
+    def test_request_round_trip_with_preface(self):
+        raw = http2.encode_request("GET", "/reviews/1", stream_id=7,
+                                   with_preface=True)
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.REQUEST
+        assert message.stream_id == 7
+        assert message.resource == "/reviews/1"
+
+    def test_response_round_trip(self):
+        raw = http2.encode_response(500, stream_id=7)
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.RESPONSE
+        assert message.is_error
+        assert message.stream_id == 7
+
+    def test_data_only_frame_is_continuation(self):
+        frame = http2._frame(http2.FRAME_DATA, 0, 5, b"body bytes")
+        assert self.spec.parse(frame) is None
+
+    def test_custom_headers_survive(self):
+        raw = http2.encode_request("POST", "/p", stream_id=3,
+                                   headers={"x-request-id": "xyz"})
+        assert self.spec.parse(raw).x_request_id == "xyz"
+
+    @given(stream_id=st.integers(min_value=1, max_value=2**31 - 1),
+           path=_paths)
+    @settings(max_examples=50)
+    def test_property_stream_id_round_trip(self, stream_id, path):
+        message = self.spec.parse(
+            http2.encode_request("GET", path, stream_id=stream_id))
+        assert message.stream_id == stream_id
+        assert message.resource == path
+
+
+class TestDns:
+    spec = dns.DnsSpec()
+
+    def test_query_round_trip(self):
+        raw = dns.encode_query(0x1234, "reviews.default.svc.cluster.local")
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.REQUEST
+        assert message.stream_id == 0x1234
+        assert message.resource == "reviews.default.svc.cluster.local"
+        assert message.operation == "A"
+
+    def test_response_round_trip(self):
+        raw = dns.encode_response(0x1234, "svc.local", "10.0.2.3")
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.RESPONSE
+        assert message.status == "ok"
+        assert dns.decode_address(raw) == "10.0.2.3"
+
+    def test_nxdomain_is_error(self):
+        raw = dns.encode_response(7, "nope.local",
+                                  rcode=dns.RCODE_NXDOMAIN)
+        message = self.spec.parse(raw)
+        assert message.is_error
+        assert message.status_code == dns.RCODE_NXDOMAIN
+
+    @given(txn=st.integers(min_value=0, max_value=0xFFFF), domain=_domains)
+    @settings(max_examples=50)
+    def test_property_query_round_trip(self, txn, domain):
+        message = self.spec.parse(dns.encode_query(txn, domain))
+        assert message.stream_id == txn
+        assert message.resource == domain
+
+
+class TestRedis:
+    spec = redis.RedisSpec()
+
+    def test_request_round_trip(self):
+        raw = redis.encode_request("GET", "session:42")
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.REQUEST
+        assert message.operation == "GET"
+        assert message.resource == "session:42"
+
+    def test_simple_string_response(self):
+        message = self.spec.parse(redis.encode_response("OK"))
+        assert message.msg_type is MessageType.RESPONSE
+        assert message.status == "ok"
+
+    def test_error_response(self):
+        message = self.spec.parse(redis.encode_response(error="no such key"))
+        assert message.is_error
+
+    def test_null_bulk_response(self):
+        assert redis.decode_response(redis.encode_response(None)) is None
+
+    def test_decode_round_trip(self):
+        assert redis.decode_request(
+            redis.encode_request("SET", "k", "v")) == ["SET", "k", "v"]
+        assert redis.decode_response(
+            redis.encode_response("a longer value" * 4)) == (
+                "a longer value" * 4)
+
+    @given(command=st.sampled_from(redis.COMMANDS), key=_names)
+    @settings(max_examples=50)
+    def test_property_request_round_trip(self, command, key):
+        message = self.spec.parse(redis.encode_request(command, key))
+        assert message.operation == command
+        assert message.resource == key
+
+
+class TestMysql:
+    spec = mysql.MysqlSpec()
+
+    def test_query_round_trip(self):
+        raw = mysql.encode_query("SELECT * FROM ratings WHERE id=1")
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.REQUEST
+        assert message.operation == "SELECT"
+        assert message.resource == "ratings"
+
+    def test_table_extraction_variants(self):
+        cases = {
+            "INSERT INTO orders VALUES (1)": "orders",
+            "UPDATE users SET x=1": "users",
+            "DELETE FROM carts": "carts",
+        }
+        for sql, table in cases.items():
+            assert self.spec.parse(mysql.encode_query(sql)).resource == table
+
+    def test_ok_and_err_responses(self):
+        ok = self.spec.parse(mysql.encode_ok())
+        assert ok.msg_type is MessageType.RESPONSE and ok.status == "ok"
+        err = self.spec.parse(mysql.encode_error(1146, "table missing"))
+        assert err.is_error and err.status_code == 1146
+
+    def test_resultset_is_ok_response(self):
+        message = self.spec.parse(mysql.encode_resultset(3, 10))
+        assert message.msg_type is MessageType.RESPONSE
+        assert message.status == "ok"
+
+    @given(sql=st.sampled_from(
+        ["SELECT 1", "SELECT a FROM t1", "COMMIT", "BEGIN"]))
+    def test_property_operation_is_first_token(self, sql):
+        message = self.spec.parse(mysql.encode_query(sql))
+        assert message.operation == sql.split()[0].upper()
+
+
+class TestKafka:
+    spec = kafka.KafkaSpec()
+
+    def test_request_round_trip(self):
+        raw = kafka.encode_request(kafka.API_PRODUCE, 99, "orders")
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.REQUEST
+        assert message.operation == "Produce"
+        assert message.resource == "orders"
+        assert message.stream_id == 99
+
+    def test_response_round_trip(self):
+        message = self.spec.parse(kafka.encode_response(99))
+        assert message.msg_type is MessageType.RESPONSE
+        assert message.stream_id == 99
+        assert message.status == "ok"
+
+    def test_error_response(self):
+        message = self.spec.parse(
+            kafka.encode_response(5, kafka.ERROR_REQUEST_TIMED_OUT))
+        assert message.is_error
+
+    @given(correlation=st.integers(min_value=0, max_value=2**31 - 1),
+           topic=_names)
+    @settings(max_examples=50)
+    def test_property_correlation_id_round_trip(self, correlation, topic):
+        message = self.spec.parse(
+            kafka.encode_request(kafka.API_FETCH, correlation, topic))
+        assert message.stream_id == correlation
+        assert message.resource == topic
+
+
+class TestMqtt:
+    spec = mqtt.MqttSpec()
+
+    def test_publish_round_trip(self):
+        raw = mqtt.encode_publish(21, "sensors/temp", b"22.1")
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.REQUEST
+        assert message.operation == "PUBLISH"
+        assert message.resource == "sensors/temp"
+        assert message.stream_id == 21
+
+    def test_puback_round_trip(self):
+        message = self.spec.parse(mqtt.encode_puback(21))
+        assert message.msg_type is MessageType.RESPONSE
+        assert message.stream_id == 21
+        assert message.status == "ok"
+
+    def test_failed_puback(self):
+        message = self.spec.parse(mqtt.encode_puback(21, success=False))
+        assert message.is_error
+
+    def test_subscribe_suback_pair(self):
+        req = self.spec.parse(mqtt.encode_subscribe(5, "alerts/#"))
+        resp = self.spec.parse(mqtt.encode_suback(5))
+        assert req.stream_id == resp.stream_id == 5
+        assert req.resource == "alerts/#"
+
+    @given(packet_id=st.integers(min_value=1, max_value=0xFFFF),
+           topic=_names, payload=st.binary(max_size=200))
+    @settings(max_examples=50)
+    def test_property_publish_round_trip(self, packet_id, topic, payload):
+        message = self.spec.parse(
+            mqtt.encode_publish(packet_id, topic, payload))
+        assert message.stream_id == packet_id
+        assert message.resource == topic
+
+
+class TestDubbo:
+    spec = dubbo.DubboSpec()
+
+    def test_request_round_trip(self):
+        raw = dubbo.encode_request(1001, "com.shop.OrderService", "create")
+        message = self.spec.parse(raw)
+        assert message.msg_type is MessageType.REQUEST
+        assert message.stream_id == 1001
+        assert message.resource == "com.shop.OrderService"
+        assert message.operation == "create"
+
+    def test_response_round_trip(self):
+        message = self.spec.parse(dubbo.encode_response(1001))
+        assert message.msg_type is MessageType.RESPONSE
+        assert message.status == "ok"
+
+    def test_error_status(self):
+        message = self.spec.parse(
+            dubbo.encode_response(1, dubbo.STATUS_SERVER_ERROR))
+        assert message.is_error
+
+    @given(request_id=st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=50)
+    def test_property_request_id_round_trip(self, request_id):
+        message = self.spec.parse(
+            dubbo.encode_request(request_id, "svc", "m"))
+        assert message.stream_id == request_id
+
+
+class TestAmqp:
+    spec = amqp.AmqpSpec()
+
+    def test_publish_ack_pair_share_stream_id(self):
+        publish = self.spec.parse(
+            amqp.encode_publish(1, 42, "work-queue", b"job"))
+        ack = self.spec.parse(amqp.encode_ack(1, 42))
+        assert publish.msg_type is MessageType.REQUEST
+        assert publish.resource == "work-queue"
+        assert ack.msg_type is MessageType.RESPONSE
+        assert publish.stream_id == ack.stream_id
+
+    def test_nack_is_error(self):
+        assert self.spec.parse(amqp.encode_nack(1, 7)).is_error
+
+    @given(channel=st.integers(min_value=0, max_value=0xFFFF),
+           tag=st.integers(min_value=0, max_value=2**32 - 1), queue=_names)
+    @settings(max_examples=50)
+    def test_property_channel_tag_round_trip(self, channel, tag, queue):
+        publish = self.spec.parse(amqp.encode_publish(channel, tag, queue))
+        ack = self.spec.parse(amqp.encode_ack(channel, tag))
+        assert publish.stream_id == ack.stream_id
+        assert publish.resource == queue
+
+
+class TestTls:
+    spec = tls.TlsSpec()
+
+    def test_encrypt_decrypt_round_trip(self):
+        plaintext = http1.encode_request("GET", "/secret")
+        assert tls.decrypt(tls.encrypt(plaintext)) == plaintext
+
+    def test_ciphertext_is_opaque_to_http_parser(self):
+        ciphertext = tls.encrypt(http1.encode_request("GET", "/secret"))
+        assert not http1.Http1Spec().infer(ciphertext)
+
+    def test_spec_recognizes_record_as_encrypted(self):
+        ciphertext = tls.encrypt(b"hello")
+        message = self.spec.parse(ciphertext)
+        assert message.operation == "encrypted"
+        assert message.msg_type is MessageType.UNKNOWN
+
+    @given(plaintext=st.binary(min_size=0, max_size=500))
+    @settings(max_examples=50)
+    def test_property_round_trip(self, plaintext):
+        assert tls.decrypt(tls.encrypt(plaintext)) == plaintext

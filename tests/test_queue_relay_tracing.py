@@ -1,0 +1,181 @@
+"""Queue-relay tracing extension (beyond the paper; its stated future
+work): producer → broker → consumer causality across an async queue.
+
+§3.3.2 Bottom-Up Trace Assembling: "This assumption indeed makes
+DeepFlow incapable of managing scenarios such as message queues.  We plan
+to tackle this problem in future work."  The extension pairs the broker's
+publish (server side) and deliver (client side) spans through the
+protocol's own message identifier — still zero-code, still implicit.
+"""
+
+import pytest
+
+from repro.apps.rabbitmq import ConsumerService, RabbitMQBroker, publish
+from repro.apps.runtime import WorkerContext
+from repro.core.span import SpanSide
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.protocols import amqp
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+class TestAmqpDeliverCodec:
+    spec = amqp.AmqpSpec()
+
+    def test_deliver_round_trip(self):
+        raw = amqp.encode_deliver(2, 71, "work-queue", b"job-bytes")
+        parsed = self.spec.parse(raw)
+        assert parsed.operation == "basic.deliver"
+        assert parsed.resource == "work-queue"
+        assert parsed.stream_id == (2 << 32) | 71
+
+    def test_deliver_and_publish_share_message_identity(self):
+        deliver = self.spec.parse(amqp.encode_deliver(1, 5, "q"))
+        pub = self.spec.parse(amqp.encode_publish(1, 5, "q"))
+        assert deliver.stream_id == pub.stream_id
+
+
+def _relay_world(seed=73):
+    sim = Simulator(seed=seed)
+    builder = ClusterBuilder(node_count=3)
+    producer_pod = builder.add_pod(0, "producer-pod")
+    mq_pod = builder.add_pod(1, "rabbitmq-pod")
+    consumer_pod = builder.add_pod(2, "consumer-pod")
+    cluster = builder.build()
+    network = Network(sim, cluster)
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+
+    consumer = ConsumerService("worker", consumer_pod.node, 7000,
+                               pod=consumer_pod, process_time=0.001)
+    consumer.start()
+    broker = RabbitMQBroker("rabbitmq", mq_pod.node, 5672, pod=mq_pod,
+                            queue_capacity=100, consume_rate=500.0)
+    broker.start()
+    broker.subscribe("orders", consumer_pod.ip, 7000)
+
+    kernel = network.kernel_for_node(producer_pod.node.name)
+    process = kernel.create_process("producer", producer_pod.ip)
+    thread = kernel.create_thread(process)
+
+    class _Shim:
+        pass
+
+    shim = _Shim()
+    shim.kernel = kernel
+    shim.ingress_abi = "read"
+    shim.egress_abi = "write"
+    shim.sim = sim
+    worker = WorkerContext(shim, thread, None)
+    return (sim, server, agents, broker, consumer, worker, mq_pod,
+            producer_pod)
+
+
+def _run_producer(sim, worker, mq_pod, count=5, spacing=0.05):
+    acks = []
+
+    def producer_main():
+        for tag in range(1, count + 1):
+            ack = yield from publish(worker, mq_pod.ip, 5672, channel=1,
+                                     delivery_tag=tag, queue="orders",
+                                     body=b"job")
+            acks.append(ack)
+            yield spacing
+
+    sim.run_process(sim.spawn(producer_main(), name="producer"))
+    return acks
+
+
+class TestQueueRelay:
+    def test_messages_flow_producer_to_consumer(self):
+        (sim, server, agents, broker, consumer, worker, mq_pod,
+         _producer_pod) = _relay_world()
+        acks = _run_producer(sim, worker, mq_pod, count=5)
+        sim.run(until=sim.now + 1.0)
+        assert all(ack is not None and not ack.is_error for ack in acks)
+        assert broker.published == 5
+        assert consumer.consumed == 5
+        assert broker.delivered == 5
+
+    def test_trace_crosses_the_queue(self):
+        (sim, server, agents, broker, consumer, worker, mq_pod,
+         _producer_pod) = _relay_world()
+        _run_producer(sim, worker, mq_pod, count=3)
+        sim.run(until=sim.now + 1.0)
+        for agent in agents:
+            agent.flush()
+        # Start from the producer's publish span; Algorithm 1 must pull
+        # in the broker's deliver span and the consumer's server span.
+        publish_client = next(
+            span for span in server.store.all_spans()
+            if span.process_name == "producer" and span.message_id
+            and span.message_id & 0xFFFFFFFF == 2)
+        trace = server.trace(publish_client.span_id)
+        names = {(span.process_name, span.side.value, span.operation)
+                 for span in trace}
+        assert ("producer", "c", "basic.publish") in names
+        assert ("rabbitmq", "s", "basic.publish") in names
+        assert ("rabbitmq", "c", "basic.deliver") in names
+        assert ("worker", "s", "basic.deliver") in names
+        assert len(trace) == 4
+
+    def test_parenting_across_the_relay(self):
+        (sim, server, agents, broker, consumer, worker, mq_pod,
+         _producer_pod) = _relay_world()
+        _run_producer(sim, worker, mq_pod, count=1)
+        sim.run(until=sim.now + 1.0)
+        for agent in agents:
+            agent.flush()
+        publish_client = next(span for span in server.store.all_spans()
+                              if span.process_name == "producer")
+        trace = server.trace(publish_client.span_id)
+        by_role = {(span.process_name, span.side.value): span
+                   for span in trace}
+        broker_server = by_role[("rabbitmq", "s")]
+        broker_deliver = by_role[("rabbitmq", "c")]
+        consumer_server = by_role[("worker", "s")]
+        # publish chain: producer client -> broker server (R4)
+        assert broker_server.parent_id == publish_client.span_id
+        # the queue relay (R11): deliver under the publish it relays
+        assert broker_deliver.parent_id == broker_server.span_id
+        # deliver chain: broker client -> consumer server (R4)
+        assert consumer_server.parent_id == broker_deliver.span_id
+        assert trace.roots() == [publish_client]
+
+    def test_each_message_traces_separately(self):
+        (sim, server, agents, broker, consumer, worker, mq_pod,
+         _producer_pod) = _relay_world()
+        _run_producer(sim, worker, mq_pod, count=4)
+        sim.run(until=sim.now + 1.0)
+        for agent in agents:
+            agent.flush()
+        producer_spans = server.find_spans(process_name="producer")
+        assert len(producer_spans) == 4
+        sizes = {len(server.trace(span.span_id)) for span in producer_spans}
+        assert sizes == {4}
+
+    def test_double_subscribe_rejected(self):
+        (sim, server, agents, broker, consumer, worker, mq_pod,
+         _producer_pod) = _relay_world()
+        with pytest.raises(ValueError, match="already has a consumer"):
+            broker.subscribe("orders", "10.0.3.2", 7000)
+
+    def test_unsubscribed_queue_still_drains_internally(self):
+        (sim, server, agents, broker, consumer, worker, mq_pod,
+         _producer_pod) = _relay_world()
+
+        def producer_main():
+            yield from publish(worker, mq_pod.ip, 5672, channel=1,
+                               delivery_tag=9, queue="unwatched",
+                               body=b"x")
+
+        sim.run_process(sim.spawn(producer_main()))
+        assert len(broker.queues["unwatched"]) == 1
+        sim.run(until=sim.now + 1.0)
+        assert len(broker.queues["unwatched"]) == 0
+        assert consumer.consumed == 0

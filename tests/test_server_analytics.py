@@ -1,0 +1,153 @@
+"""Tag-grouped analytics (§3.4) and client-side TLS uprobe coverage."""
+
+import pytest
+
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.runtime import HttpService, Response
+from repro.core.span import SpanKind, SpanSide
+from repro.kernel.syscalls import Direction
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.protocols import http1, tls
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def analytics_world():
+    """Two backend pods behind a caller; one pod is slow, one errors."""
+    sim = Simulator(seed=88)
+    builder = ClusterBuilder(node_count=3)
+    lg_pod = builder.add_pod(0, "lg")
+    fast_pod = builder.add_pod(1, "backend-fast",
+                               labels={"app": "backend"})
+    slow_pod = builder.add_pod(2, "backend-slow",
+                               labels={"app": "backend"})
+    cluster = builder.build()
+    network = Network(sim, cluster)
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+
+    for pod, service_time, status in ((fast_pod, 0.001, 200),
+                                      (slow_pod, 0.02, 500)):
+        service = HttpService(pod.name, pod.node, 9000, pod=pod,
+                              service_time=service_time)
+
+        def handler(worker, request, _status=status):
+            yield from worker.work(0.0001)
+            return Response(_status)
+
+        service.route("/")(handler)
+        service.start()
+
+    for pod in (fast_pod, slow_pod):
+        generator = LoadGenerator(lg_pod.node, pod.ip, 9000, rate=20,
+                                  duration=0.4, connections=2,
+                                  pod=lg_pod, name=f"client-{pod.name}")
+        sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.5)
+    for agent in agents:
+        agent.flush()
+    return server
+
+
+class TestTagAnalytics:
+    def test_latency_by_pod_exposes_slow_pod(self):
+        server = analytics_world()
+        stats = server.latency_by_tag("pod")
+        assert set(stats) == {"backend-fast", "backend-slow"}
+        assert (stats["backend-slow"]["mean"]
+                > 5 * stats["backend-fast"]["mean"])
+        assert stats["backend-fast"]["count"] > 0
+        assert (stats["backend-slow"]["p95"]
+                >= stats["backend-slow"]["mean"])
+
+    def test_error_rate_by_pod(self):
+        server = analytics_world()
+        rates = server.error_rate_by_tag("pod")
+        assert rates["backend-slow"] == 1.0
+        assert rates["backend-fast"] == 0.0
+
+    def test_latency_by_custom_label(self):
+        server = analytics_world()
+        stats = server.latency_by_tag("app")
+        assert "backend" in stats
+
+    def test_unknown_tag_returns_empty(self):
+        server = analytics_world()
+        assert server.latency_by_tag("nonexistent") == {}
+        assert server.error_rate_by_tag("nonexistent") == {}
+
+
+class TestClientSideTls:
+    """The uprobe extension on the *calling* side: an HTTPS client whose
+    egress plaintext is lifted from ssl_write before encryption."""
+
+    def test_client_span_recovered_from_ssl_write(self):
+        sim = Simulator(seed=89)
+        builder = ClusterBuilder(node_count=2)
+        client_pod = builder.add_pod(0, "https-client-pod")
+        server_pod = builder.add_pod(1, "tls-endpoint-pod")
+        cluster = builder.build()
+        network = Network(sim, cluster)
+        deepflow = DeepFlowServer()
+        agents = []
+        for node in cluster.nodes:
+            agent = deepflow.new_agent(node.kernel, node=node)
+            agent.deploy()
+            agents.append(agent)
+        # uprobes on the client process only.
+        agents[0].attach_uprobe("https-client", "ssl_write")
+        agents[0].attach_uprobe("https-client", "ssl_read")
+
+        # A raw TLS echo endpoint (unmonitored semantics).
+        kernel_s = network.kernel_for_node(server_pod.node.name)
+        process_s = kernel_s.create_process("tls-endpoint", server_pod.ip)
+        thread_s = kernel_s.create_thread(process_s)
+        listener = kernel_s.listen(process_s, 8443)
+
+        def endpoint():
+            fd = yield from kernel_s.accept(thread_s, listener)
+            yield from kernel_s.read(thread_s, fd)
+            yield 0.001
+            yield from kernel_s.write(
+                thread_s, fd,
+                tls.encrypt(http1.encode_response(201, body=b"made")))
+
+        sim.spawn(endpoint(), name="endpoint")
+
+        kernel_c = network.kernel_for_node(client_pod.node.name)
+        process_c = kernel_c.create_process("https-client", client_pod.ip)
+        thread_c = kernel_c.create_thread(process_c)
+
+        def client():
+            fd = yield from kernel_c.connect(thread_c, server_pod.ip,
+                                             8443)
+            request = http1.encode_request("POST", "/things")
+            yield from kernel_c.user_function(
+                thread_c, "ssl_write", request, Direction.EGRESS, fd)
+            yield from kernel_c.write(thread_c, fd, tls.encrypt(request))
+            ciphertext = yield from kernel_c.read(thread_c, fd)
+            plaintext = tls.decrypt(ciphertext)
+            yield from kernel_c.user_function(
+                thread_c, "ssl_read", plaintext, Direction.INGRESS, fd)
+            return plaintext
+
+        result = sim.run_process(sim.spawn(client()))
+        assert b"made" in result
+        sim.run(until=sim.now + 0.3)
+        for agent in agents:
+            agent.flush()
+        spans = deepflow.find_spans(process_name="https-client")
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.kind is SpanKind.UPROBE
+        assert span.side is SpanSide.CLIENT
+        assert span.operation == "POST"
+        assert span.resource == "/things"
+        assert span.status_code == 201
+        # The unmonitored endpoint produced nothing.
+        assert deepflow.find_spans(process_name="tls-endpoint") == []

@@ -1,0 +1,136 @@
+"""Unit tests for the blocking FIFO queue."""
+
+import pytest
+
+from repro.sim import Queue, QueueClosed, Simulator
+
+
+def test_put_then_get_returns_item():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put("a")
+    got = []
+
+    def getter():
+        item = yield queue.get()
+        got.append(item)
+
+    sim.spawn(getter())
+    sim.run()
+    assert got == ["a"]
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    queue = Queue(sim)
+    got = []
+
+    def getter():
+        item = yield queue.get()
+        got.append((sim.now, item))
+
+    def putter():
+        yield 2.0
+        queue.put("late")
+
+    sim.spawn(getter())
+    sim.spawn(putter())
+    sim.run()
+    assert got == [(2.0, "late")]
+
+
+def test_fifo_order_among_items():
+    sim = Simulator()
+    queue = Queue(sim)
+    for i in range(5):
+        queue.put(i)
+    got = []
+
+    def getter():
+        for _ in range(5):
+            item = yield queue.get()
+            got.append(item)
+
+    sim.spawn(getter())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_fifo_order_among_waiters():
+    sim = Simulator()
+    queue = Queue(sim)
+    got = []
+
+    def getter(tag):
+        item = yield queue.get()
+        got.append((tag, item))
+
+    sim.spawn(getter("first"))
+    sim.run()
+    sim.spawn(getter("second"))
+    sim.run()
+    queue.put("x")
+    queue.put("y")
+    sim.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_capacity_drops_excess():
+    sim = Simulator()
+    queue = Queue(sim, capacity=2)
+    assert queue.put(1)
+    assert queue.put(2)
+    assert not queue.put(3)
+    assert queue.dropped == 1
+    assert len(queue) == 2
+
+
+def test_close_fails_pending_getters():
+    sim = Simulator()
+    queue = Queue(sim, name="q")
+    outcome = []
+
+    def getter():
+        try:
+            yield queue.get()
+        except QueueClosed:
+            outcome.append("closed")
+
+    sim.spawn(getter())
+    sim.run()
+    queue.close()
+    sim.run()
+    assert outcome == ["closed"]
+
+
+def test_put_after_close_is_dropped():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.close()
+    assert not queue.put("x")
+    assert queue.dropped == 1
+
+
+def test_drain_empties_queue():
+    sim = Simulator()
+    queue = Queue(sim)
+    for i in range(3):
+        queue.put(i)
+    assert queue.drain() == [0, 1, 2]
+    assert len(queue) == 0
+
+
+def test_get_nowait_raises_when_empty():
+    sim = Simulator()
+    queue = Queue(sim)
+    with pytest.raises(IndexError):
+        queue.get_nowait()
+
+
+def test_total_put_counter():
+    sim = Simulator()
+    queue = Queue(sim, capacity=1)
+    queue.put(1)
+    queue.put(2)
+    assert queue.total_put == 1
+    assert queue.dropped == 1

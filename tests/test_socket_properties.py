@@ -1,0 +1,82 @@
+"""Property-based tests on the socket byte stream and sequence space."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.sockets import INITIAL_SEQ, FiveTuple, Socket
+from repro.sim.engine import Simulator
+
+FT = FiveTuple("10.0.0.1", 1000, "10.0.0.2", 80)
+
+
+def make_socket():
+    return Socket(Simulator(), socket_id=1, five_tuple=FT, pid=1)
+
+
+class TestSequenceSpace:
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=10_000),
+                          min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_tx_seq_is_contiguous_byte_count(self, sizes):
+        sock = make_socket()
+        expected = INITIAL_SEQ
+        for size in sizes:
+            seq = sock.reserve_tx(size)
+            assert seq == expected
+            expected += size
+        assert sock.bytes_sent == sum(sizes)
+
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=64),
+                           min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_delivery_preserves_bytes_and_order(self, chunks):
+        sock = make_socket()
+        seq = INITIAL_SEQ
+        for chunk in chunks:
+            sock.deliver(seq, chunk)
+            seq += len(chunk)
+        received = b""
+        while sock.readable:
+            _first, data = sock.read_available(max_bytes=1 << 20)
+            if not data:
+                break
+            received += data
+        assert received == b"".join(chunks)
+        assert sock.bytes_received == len(received)
+
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=64),
+                           min_size=1, max_size=20),
+           read_size=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=100)
+    def test_partial_reads_report_correct_first_seq(self, chunks,
+                                                    read_size):
+        sock = make_socket()
+        seq = INITIAL_SEQ
+        for chunk in chunks:
+            sock.deliver(seq, chunk)
+            seq += len(chunk)
+        total = sum(len(chunk) for chunk in chunks)
+        consumed = 0
+        while consumed < total:
+            first_seq, data = sock.read_available(max_bytes=read_size)
+            assert data, "stream ended early"
+            assert first_seq == INITIAL_SEQ + consumed
+            consumed += len(data)
+        assert consumed == total
+
+    def test_eof_returns_empty_read(self):
+        sock = make_socket()
+        sock.deliver_eof()
+        assert sock.readable
+        _seq, data = sock.read_available(1024)
+        assert data == b""
+
+    def test_reset_raises_after_drain(self):
+        import pytest
+        sock = make_socket()
+        sock.deliver(INITIAL_SEQ, b"tail")
+        sock.deliver_reset()
+        _seq, data = sock.read_available(1024)
+        assert data == b"tail"  # pending data still drains
+        with pytest.raises(ConnectionResetError):
+            sock.read_available(1024)

@@ -1,0 +1,61 @@
+"""Unit tests for the Appendix C survey dataset and derivations."""
+
+from repro.survey.questionnaire import (
+    ADVANTAGE_RUBRIC,
+    DURATION_ORDER,
+    LOC_ORDER,
+    Q11_ANSWERS,
+    RAW_ANSWERS,
+    fig9_effort_series,
+    fig10a_locate_series,
+    fig10b_advantages,
+    improvement_summary,
+)
+
+
+class TestRawData:
+    def test_ten_questions_ten_answers_each(self):
+        assert sorted(RAW_ANSWERS) == list(range(1, 11))
+        for question, answers in RAW_ANSWERS.items():
+            assert len(answers) == 10, question
+
+    def test_q1_open_source_split(self):
+        # Table 4: seven open-source (O), three self-developed (S).
+        assert RAW_ANSWERS[1].count("O") == 7
+        assert RAW_ANSWERS[1].count("S") == 3
+
+    def test_q3_all_use_two_to_five_languages(self):
+        assert set(RAW_ANSWERS[3]) == {"2-5"}
+
+    def test_q11_has_ten_entries_one_empty(self):
+        assert len(Q11_ANSWERS) == 10
+        assert Q11_ANSWERS.count("") == 1  # respondent 9 left it blank
+
+
+class TestDerivations:
+    def test_fig9_buckets_cover_all_answers(self):
+        series = fig9_effort_series()
+        assert sum(series["time_per_component"].values()) == 10
+        assert sum(series["loc_per_component"].values()) == 10
+        assert list(series["time_per_component"]) == list(DURATION_ORDER)
+        assert list(series["loc_per_component"]) == list(LOC_ORDER)
+
+    def test_fig10a_buckets_cover_all_answers(self):
+        series = fig10a_locate_series()
+        assert sum(series["before_deepflow"].values()) == 10
+        assert sum(series["with_deepflow"].values()) == 10
+
+    def test_fig10b_rubric_counts_match_section4(self):
+        counts = fig10b_advantages()
+        assert counts == {"network coverage": 5,
+                          "non-intrusive instrumentation": 4,
+                          "closed-source tracing": 3}
+
+    def test_rubric_categories_are_stable(self):
+        assert set(ADVANTAGE_RUBRIC) == set(fig10b_advantages())
+
+    def test_improvement_summary(self):
+        summary = improvement_summary()
+        assert summary["respondents"] == 10
+        assert summary["users_spending_hours_or_days_instrumenting"] == 6
+        assert 0 < summary["users_locating_faster"] <= 10

@@ -1,0 +1,134 @@
+"""End-to-end tracing of a proprietary protocol via a user-supplied spec.
+
+§3.3.1: the agent "iterates through the common protocol specifications
+and the optional user-supplied protocol specifications".  A company's
+in-house line protocol is invisible to the default specs; supplying a
+spec in AgentConfig makes its sessions first-class spans with zero
+changes anywhere else.
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro.agent.agent import AgentConfig
+from repro.apps.runtime import Component, WorkerContext
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.protocols.base import MessageType, ParsedMessage, ProtocolSpec
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+class FooWireSpec(ProtocolSpec):
+    """A proprietary text protocol: ``FOO <verb> <key>\\n`` / ``ANS ...``."""
+
+    name = "foowire"
+    multiplexed = False
+
+    def infer(self, payload: bytes) -> bool:
+        return payload.startswith((b"FOO ", b"ANS "))
+
+    def parse(self, payload: bytes) -> Optional[ParsedMessage]:
+        try:
+            line = payload.decode("ascii").strip()
+        except UnicodeDecodeError:
+            return None
+        parts = line.split(" ")
+        if parts[0] == "FOO" and len(parts) >= 3:
+            return ParsedMessage(protocol=self.name,
+                                 msg_type=MessageType.REQUEST,
+                                 operation=parts[1], resource=parts[2],
+                                 size=len(payload))
+        if parts[0] == "ANS":
+            ok = len(parts) >= 2 and parts[1] == "OK"
+            return ParsedMessage(protocol=self.name,
+                                 msg_type=MessageType.RESPONSE,
+                                 status="ok" if ok else "error",
+                                 size=len(payload))
+        return None
+
+
+class FooService(Component):
+    def handle_payload(self, worker: WorkerContext, data: bytes):
+        yield from worker.work(0.0005)
+        line = data.decode("ascii").strip()
+        verb = line.split(" ")[1]
+        if verb == "CRASH":
+            return b"ANS FAIL\n"
+        return b"ANS OK\n"
+
+
+def build(user_spec):
+    sim = Simulator(seed=99)
+    builder = ClusterBuilder(node_count=2)
+    client_pod = builder.add_pod(0, "client-pod")
+    svc_pod = builder.add_pod(1, "foo-pod")
+    cluster = builder.build()
+    network = Network(sim, cluster)
+    server = DeepFlowServer()
+    config = AgentConfig(user_specs=(user_spec,) if user_spec else ())
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node, config=config)
+        agent.deploy()
+        agents.append(agent)
+    service = FooService("foo-svc", svc_pod.node, 4100, pod=svc_pod)
+    service.start()
+    kernel = network.kernel_for_node(client_pod.node.name)
+    process = kernel.create_process("foo-client", client_pod.ip)
+    thread = kernel.create_thread(process)
+
+    class _Shim:
+        pass
+
+    shim = _Shim()
+    shim.kernel = kernel
+    shim.ingress_abi = "read"
+    shim.egress_abi = "write"
+    shim.sim = sim
+    worker = WorkerContext(shim, thread, None)
+
+    def client():
+        first = yield from worker.call_raw(svc_pod.ip, 4100,
+                                           b"FOO GET user:42\n")
+        second = yield from worker.call_raw(svc_pod.ip, 4100,
+                                            b"FOO CRASH now\n")
+        return first, second
+
+    result = sim.run_process(sim.spawn(client()))
+    sim.run(until=sim.now + 0.3)
+    for agent in agents:
+        agent.flush()
+    return server, result
+
+
+class TestUserSuppliedSpec:
+    def test_without_spec_protocol_is_invisible(self):
+        server, result = build(user_spec=None)
+        assert result[0] == b"ANS OK\n"
+        assert server.find_spans(process_name="foo-svc") == []
+
+    def test_with_spec_sessions_become_spans(self):
+        server, result = build(user_spec=FooWireSpec())
+        assert result == (b"ANS OK\n", b"ANS FAIL\n")
+        spans = server.find_spans(process_name="foo-svc")
+        assert len(spans) == 2
+        ok_span = next(span for span in spans if span.operation == "GET")
+        assert ok_span.protocol == "foowire"
+        assert ok_span.resource == "user:42"
+        assert ok_span.status == "ok"
+        crash_span = next(span for span in spans
+                          if span.operation == "CRASH")
+        assert crash_span.is_error
+
+    def test_client_and_server_spans_associate(self):
+        server, _result = build(user_spec=FooWireSpec())
+        client_span = next(span for span in server.store.all_spans()
+                           if span.process_name == "foo-client"
+                           and span.operation == "GET")
+        trace = server.trace(client_span.span_id)
+        assert len(trace) == 2
+        server_span = next(span for span in trace
+                           if span.process_name == "foo-svc")
+        assert server_span.parent_id == client_span.span_id

@@ -1,0 +1,170 @@
+"""Tests for the watchdog, incident reports, and the topology generator."""
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.analysis.watchdog import Alert, AnomalyWatchdog
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.runtime import HttpService, Response
+from repro.apps.servicegen import generate
+from repro.core.span import SpanSide
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
+from repro.server.server import DeepFlowServer
+from repro.sim.engine import Simulator
+
+
+def build_flaky_world(fail_after=0.5, slow_after=None):
+    """A service that starts failing (or slowing) mid-run."""
+    sim = Simulator(seed=202)
+    builder = ClusterBuilder(node_count=2)
+    lg_pod = builder.add_pod(0, "lg")
+    svc_pod = builder.add_pod(1, "svc")
+    cluster = builder.build()
+    Network(sim, cluster)
+    server = DeepFlowServer()
+    agents = []
+    for node in cluster.nodes:
+        agent = server.new_agent(node.kernel, node=node)
+        agent.deploy()
+        agents.append(agent)
+    state = {"fail_after": fail_after, "slow_after": slow_after}
+    service = HttpService("svc", svc_pod.node, 9000, pod=svc_pod,
+                          service_time=0.001)
+
+    @service.route("/")
+    def home(worker, request):
+        if (state["slow_after"] is not None
+                and worker.sim.now > state["slow_after"]):
+            yield from worker.work(0.03)
+        if (state["fail_after"] is not None
+                and worker.sim.now > state["fail_after"]):
+            return Response(500)
+        yield from worker.work(0.0001)
+        return Response(200)
+
+    service.start()
+    generator = LoadGenerator(lg_pod.node, svc_pod.ip, 9000, rate=40,
+                              duration=1.2, connections=4, pod=lg_pod,
+                              name="client")
+    report = sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.3)
+    for agent in agents:
+        agent.flush()
+    return sim, server, cluster, report
+
+
+class TestWatchdog:
+    def test_error_burst_detected(self):
+        sim, server, cluster, _report = build_flaky_world(fail_after=0.5)
+        watchdog = AnomalyWatchdog(server, window=0.25)
+        alerts = watchdog.scan(now=1.5)
+        bursts = [alert for alert in alerts
+                  if alert.kind == "error-burst"]
+        assert bursts
+        assert all(alert.service == "svc" for alert in bursts)
+        # No alert before the fault began.
+        assert all(alert.window_end > 0.5 for alert in bursts)
+        assert bursts[0].exemplar_span_id is not None
+        assert server.store.get(bursts[0].exemplar_span_id).is_error
+
+    def test_latency_regression_detected(self):
+        sim, server, cluster, _report = build_flaky_world(
+            fail_after=None, slow_after=0.6)
+        watchdog = AnomalyWatchdog(server, window=0.2,
+                                   latency_ratio_threshold=3.0)
+        alerts = watchdog.scan(now=1.5)
+        regressions = [alert for alert in alerts
+                       if alert.kind == "latency-regression"]
+        assert regressions
+        assert all(alert.window_end > 0.6 for alert in regressions)
+        assert regressions[0].value >= 3.0
+
+    def test_healthy_run_raises_no_alerts(self):
+        sim, server, cluster, _report = build_flaky_world(fail_after=None)
+        watchdog = AnomalyWatchdog(server, window=0.25)
+        assert watchdog.scan(now=1.5) == []
+
+    def test_scan_is_incremental(self):
+        sim, server, cluster, _report = build_flaky_world(fail_after=0.5)
+        watchdog = AnomalyWatchdog(server, window=0.25)
+        first = watchdog.scan(now=0.75)
+        second = watchdog.scan(now=1.5)
+        windows = [(alert.window_start, alert.window_end)
+                   for alert in first + second]
+        assert len(windows) == len(set(windows))  # no window re-alerted
+
+    def test_alert_describe(self):
+        alert = Alert(kind="error-burst", service="svc",
+                      window_start=1.0, window_end=1.5, value=0.5,
+                      threshold=0.2)
+        text = alert.describe()
+        assert "error-burst" in text and "svc" in text and "50%" in text
+
+
+class TestIncidentReport:
+    def test_report_contains_diagnosis_and_trace(self):
+        sim, server, cluster, _report = build_flaky_world(fail_after=0.3)
+        error_span = next(span for span in server.store.all_spans()
+                          if span.is_error
+                          and span.side is SpanSide.SERVER)
+        trace = server.trace(error_span.span_id)
+        report = build_report(server, trace, cluster=cluster,
+                              title="svc 500s")
+        text = report.render()
+        assert "svc 500s" in text
+        assert "root cause category: application" in text
+        assert "Deepest failing span" in text
+        assert "pod: svc" in text
+        assert "- GET" in text  # the rendered trace tree
+
+    def test_report_renders_without_errors_present(self):
+        sim, server, cluster, _report = build_flaky_world(fail_after=None)
+        trace = server.trace(server.slowest_span().span_id)
+        report = build_report(server, trace, cluster=cluster)
+        text = report.render()
+        assert "Incident report" in text
+        assert "0 error span(s)" in text
+
+
+class TestServiceGenerator:
+    def test_generated_graph_is_deterministic(self):
+        app_a = generate(seed=7, layers=3, width=3, fanout=2)
+        app_b = generate(seed=7, layers=3, width=3, fanout=2)
+        assert app_a.edges == app_b.edges
+
+    def test_all_layers_reachable_and_requests_succeed(self):
+        app = generate(seed=9, layers=3, width=2, fanout=2)
+        generator = LoadGenerator(
+            app.pods["loadgen"].node, app.entry_ip, app.entry_port,
+            rate=10, duration=0.4, connections=2,
+            pod=app.pods["loadgen"], name="loadgen")
+        report = app.sim.run_process(generator.run())
+        assert report.errors == 0
+        assert report.completed == report.sent
+
+    def test_traced_end_to_end_with_expected_span_count(self):
+        sim = Simulator(seed=10)
+        app = generate(sim, layers=3, width=2, fanout=2)
+        server = DeepFlowServer()
+        agents = []
+        for node in app.cluster.nodes:
+            agent = server.new_agent(node.kernel, node=node)
+            agent.deploy()
+            agents.append(agent)
+        generator = LoadGenerator(
+            app.pods["loadgen"].node, app.entry_ip, app.entry_port,
+            rate=5, duration=0.3, connections=1,
+            pod=app.pods["loadgen"], name="loadgen")
+        report = sim.run_process(generator.run())
+        sim.run(until=sim.now + 0.5)
+        for agent in agents:
+            agent.flush()
+        assert report.errors == 0
+        trace = server.trace(server.slowest_span().span_id)
+        assert len(trace) == 2 * app.sessions_per_request()
+        assert len(trace.roots()) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate(layers=0)
