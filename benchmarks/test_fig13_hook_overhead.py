@@ -17,11 +17,16 @@ Two measurements here:
 from benchmarks.conftest import print_table
 
 from repro.agent.agent import AgentConfig
+from repro.agent.hookprogs import (
+    syscall_tracing_bytecode,
+    uprobe_tracing_bytecode,
+)
 from repro.kernel.ebpf import (
     BPFProgram,
     EMPTY_PROGRAM_LATENCY_NS,
     HookRegistry,
     PER_INSTRUCTION_LATENCY_NS,
+    verify_program,
 )
 from repro.kernel.kernel import UPROBE_TRAP_NS
 from repro.kernel.syscalls import ALL_ABIS
@@ -33,10 +38,17 @@ PAPER_UPROBE_ADDED_MAX_NS = 423.0
 
 
 def _tracing_program(name="p"):
+    """The full tracing program as real, verified BPF bytecode.
+
+    The instruction count charged to the latency model is the
+    *verifier-computed worst-case path length*, not a declared number.
+    """
     config = AgentConfig()
-    return BPFProgram(name, lambda ctx: None,
-                      instructions=(config.trace_instructions
-                                    + config.parser_instructions))
+    budget = config.trace_instructions + config.parser_instructions
+    program = BPFProgram(name, lambda ctx: None,
+                         bytecode=syscall_tracing_bytecode(budget))
+    verify_program(program, hook_type="tracepoint")
+    return program
 
 
 def test_fig13a_per_abi_latency_model_within_paper_band(benchmark):
@@ -58,8 +70,9 @@ def test_fig13a_per_abi_latency_model_within_paper_band(benchmark):
                 rows)
     empty = BPFProgram("empty", lambda ctx: None, instructions=0)
     assert empty.latency_ns == EMPTY_PROGRAM_LATENCY_NS
+    assert program.verified is not None  # cost comes from static analysis
     assert per_hook_ns == (EMPTY_PROGRAM_LATENCY_NS
-                           + program.instructions
+                           + program.verified.worst_case_instructions
                            * PER_INSTRUCTION_LATENCY_NS)
     benchmark.pedantic(lambda: program.latency_ns, rounds=10, iterations=10)
 
@@ -67,7 +80,8 @@ def test_fig13a_per_abi_latency_model_within_paper_band(benchmark):
 def test_fig13b_uprobe_extension_latency(benchmark):
     """Extension hooks: trap cost 6153 ns, DeepFlow adds < 423 ns."""
     uprobe_program = BPFProgram("df_ssl", lambda ctx: None,
-                                instructions=300)
+                                bytecode=uprobe_tracing_bytecode(300))
+    verify_program(uprobe_program, hook_type="uprobe")
     added_ns = uprobe_program.latency_ns
     rows = [
         ("uprobe trap", f"{UPROBE_TRAP_NS:.0f}",

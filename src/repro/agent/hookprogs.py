@@ -1,0 +1,153 @@
+"""Bytecode bodies for the agent's kernel-side hook programs.
+
+The agent's programs are no longer opaque Python callables with declared
+instruction counts: each attach point carries real
+:mod:`repro.kernel.bpf_isa` bytecode that the verifier analyzes before
+attachment.  The *verified worst-case path length* then drives the Fig 13
+latency model (``BPFProgram.latency_ns``), so the per-hook costs the
+simulation charges are derived from the program text, not asserted.
+
+Each builder takes an instruction *budget* — the calibrated per-firing
+cost from :class:`repro.agent.agent.AgentConfig` — and emits a program
+whose verified worst-case path length equals the budget exactly: a fixed
+record-building prologue (ctx field loads, stack stores), a bounded
+payload-scan loop sized to consume most of the budget, and straight-line
+padding for the remainder.  The builders are cached: every program with
+the same budget shares one bytecode tuple.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.kernel.bpf_isa import (
+    CTX_FIELDS,
+    ProgramBuilder,
+    R0,
+    R1,
+    R2,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+)
+from repro.kernel.verifier import verify_bytecode
+
+#: Instructions consumed by one payload-scan loop iteration
+#: (accumulate + shift + counter decrement + back-jump).
+_LOOP_BODY_INSNS = 4
+
+
+def _emit_record_prologue(b: ProgramBuilder,
+                          fields: tuple[str, ...]) -> int:
+    """Copy *fields* from ctx into the on-stack record; returns the
+    record size in bytes."""
+    b.mov_reg(R6, R1)  # ctx survives helper calls in a callee-saved reg
+    off = -8
+    for name in fields:
+        b.ld_ctx(R2, name, ctx_reg=R6)
+        b.stack_store(off, R2)
+        off -= 8
+    return -off - 8
+
+
+def _emit_scan_loop(b: ProgramBuilder, trips: int) -> None:
+    """Bounded payload scan: fold the length word ``trips`` times."""
+    b.ld_ctx(R7, "byte_len", ctx_reg=R6)
+    b.mov_imm(R8, 0)
+
+    def body(bb: ProgramBuilder) -> None:
+        bb.add_reg(R8, R7)
+        bb.rsh_imm(R7, 1)
+
+    b.bounded_loop(R9, trips, body)
+
+
+def _emit_submit_epilogue(b: ProgramBuilder, pad: int,
+                          record_off: int) -> None:
+    b.stack_store(record_off, R8)
+    b.mov_reg(R1, R6)
+    b.call("perf_submit")
+    for _ in range(pad):
+        b.mov_reg(R8, R8)
+    b.mov_imm(R0, 0)
+    b.exit()
+
+
+def _build_tracing(fields: tuple[str, ...], probe_helper: str | None,
+                   probe_words: int, trips: int, pad: int):
+    b = ProgramBuilder()
+    record_bytes = _emit_record_prologue(b, fields)
+    scratch_off = -(record_bytes + 8)
+    if probe_helper is not None:
+        # Pull the (truncated) payload onto the stack, as the real
+        # programs do before submitting.
+        b.mov_reg(R1, R10)
+        b.add_imm(R1, scratch_off - (probe_words - 1) * 8)
+        b.mov_imm(R2, probe_words * 8)
+        b.call(probe_helper)
+        scratch_off -= probe_words * 8
+    _emit_scan_loop(b, trips)
+    _emit_submit_epilogue(b, pad, scratch_off)
+    return b.assemble()
+
+
+def _sized(build, budget: int, hook_type: str, name: str):
+    """Size *build*'s loop + padding so the verified worst case == budget."""
+    base = verify_bytecode(build(1, 0), hook_type,
+                           name=name).worst_case_instructions
+    if budget < base:
+        raise ValueError(
+            f"{name}: budget {budget} below the {base}-instruction "
+            f"minimum program")
+    extra_trips = (budget - base) // _LOOP_BODY_INSNS
+    pad = (budget - base) % _LOOP_BODY_INSNS
+    bytecode = build(1 + extra_trips, pad)
+    report = verify_bytecode(bytecode, hook_type, name=name)
+    assert report.worst_case_instructions == budget, \
+        (report.worst_case_instructions, budget)
+    return bytecode
+
+
+_SYSCALL_FIELDS = ("pid", "tid", "coroutine_id", "socket_id", "tcp_seq",
+                   "timestamp_ns", "direction", "byte_len", "ret")
+
+_EVENT_FIELDS = ("pid", "tid", "coroutine_id", "timestamp_ns")
+
+
+@lru_cache(maxsize=None)
+def syscall_tracing_bytecode(budget: int):
+    """Program attached to ``sys_enter_*``/``sys_exit_*`` tracepoints:
+    builds the (pid, tid) merge record and submits it.  Reads kernel
+    memory, so it uses ``probe_read_kernel`` — legal from tracepoints."""
+    return _sized(
+        lambda trips, pad: _build_tracing(_SYSCALL_FIELDS,
+                                          "probe_read_kernel", 4,
+                                          trips, pad),
+        budget, "tracepoint", "df_syscall")
+
+
+@lru_cache(maxsize=None)
+def uprobe_tracing_bytecode(budget: int):
+    """Program attached to uprobe/uretprobe points (e.g. ssl_write):
+    copies the *user-space* plaintext buffer with ``probe_read_user``."""
+    return _sized(
+        lambda trips, pad: _build_tracing(_SYSCALL_FIELDS,
+                                          "probe_read_user", 4,
+                                          trips, pad),
+        budget, "uprobe", "df_uprobe")
+
+
+@lru_cache(maxsize=None)
+def event_bytecode(budget: int):
+    """Small straight-line program for event hooks (coroutine creation,
+    socket close): record identity fields and submit."""
+    return _sized(
+        lambda trips, pad: _build_tracing(_EVENT_FIELDS, None, 0,
+                                          trips, pad),
+        budget, "kprobe", "df_event")
+
+
+#: Exported so tests can assert the ctx layout the programs rely on.
+TRACED_CTX_FIELDS = tuple(sorted(CTX_FIELDS))

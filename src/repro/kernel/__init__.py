@@ -9,12 +9,25 @@ This package stands in for the Linux kernel in the reproduction (DESIGN.md
   numbers, the substrate for inter-component association;
 * :mod:`repro.kernel.syscalls` — the ten ingress/egress syscall ABIs of
   Table 3 and the context records captured at hook time;
+* :mod:`repro.kernel.bpf_isa` — a register-based BPF instruction set with
+  an assembler (:class:`ProgramBuilder`) and interpreter;
+* :mod:`repro.kernel.verifier` — static analysis over that bytecode: CFG
+  construction, loop trip-bound proofs, abstract register typing, stack
+  bounds, per-hook-type helper whitelists, and worst-case path length;
 * :mod:`repro.kernel.ebpf` — kprobe/tracepoint/uprobe hook points, BPF
-  programs with a bounded-complexity verifier, and a perf ring buffer;
+  programs verified before attachment, and a perf ring buffer;
 * :mod:`repro.kernel.kernel` — the kernel proper: fd tables, blocking
   syscall semantics, and hook dispatch with a calibrated latency model.
 """
 
+from repro.kernel.bpf_isa import (
+    BPFTrap,
+    Insn,
+    Op,
+    ProgramBuilder,
+    execute,
+    hook_type_of,
+)
 from repro.kernel.ebpf import (
     BPFProgram,
     HookRegistry,
@@ -22,6 +35,7 @@ from repro.kernel.ebpf import (
     VerifierError,
     verify_program,
 )
+from repro.kernel.verifier import VerifierReport, verify_bytecode
 from repro.kernel.kernel import Kernel, KernelError
 from repro.kernel.process import Coroutine, OSProcess, Thread
 from repro.kernel.sockets import FiveTuple, Socket, SocketState
@@ -37,21 +51,29 @@ from repro.kernel.syscalls import (
 __all__ = [
     "ALL_ABIS",
     "BPFProgram",
+    "BPFTrap",
     "Coroutine",
     "Direction",
     "EGRESS_ABIS",
     "FiveTuple",
     "HookRegistry",
     "INGRESS_ABIS",
+    "Insn",
     "Kernel",
     "KernelError",
     "OSProcess",
+    "Op",
     "PerfBuffer",
+    "ProgramBuilder",
     "Socket",
     "SocketState",
     "SyscallContext",
     "SyscallRecord",
     "Thread",
     "VerifierError",
+    "VerifierReport",
+    "execute",
+    "hook_type_of",
+    "verify_bytecode",
     "verify_program",
 ]

@@ -1,0 +1,669 @@
+"""A small register-based BPF instruction set (the tracing programs' ISA).
+
+The paper's safety argument (§2.3.1) rests on eBPF programs being *statically
+bounded* before they may attach.  To reproduce that property honestly the
+hook programs must be made of actual instructions a verifier can analyze —
+not Python callables with self-declared metadata.  This module defines:
+
+* the instruction set: 11 registers (R0–R10), ALU ops, context loads,
+  stack loads/stores, conditional jumps, helper calls, exit — a faithful
+  miniature of the kernel's BPF ISA (64-bit registers, R10 = read-only
+  frame pointer, R1 = context pointer on entry, R0 = return value,
+  helpers clobber R1–R5);
+* :class:`ProgramBuilder`, a label-resolving assembler for authoring
+  bytecode;
+* :func:`execute`, a concrete interpreter used to actually run verified
+  programs (and, in tests, to check that verification implies trap-freedom).
+
+Static analysis over this ISA lives in :mod:`repro.kernel.verifier`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+#: Register indices.  R10 is the frame pointer (read-only, points at the
+#: top of the 512-byte stack); R1 carries the context pointer on entry.
+R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10 = range(11)
+
+NUM_REGS = 11
+
+#: BPF stack size, bytes (the kernel's limit).
+STACK_SIZE = 512
+
+#: Word size — every load/store moves one 8-byte word.
+WORD = 8
+
+#: Hook-context layout: field name → byte offset off the ctx pointer.
+#: Mirrors the ``pt_regs``/tracepoint context a real program reads; loads
+#: must be word-aligned and inside ``[0, CTX_SIZE)``.
+CTX_FIELDS = {
+    "pid": 0,
+    "tid": 8,
+    "coroutine_id": 16,
+    "socket_id": 24,
+    "tcp_seq": 32,
+    "timestamp_ns": 40,
+    "direction": 48,
+    "byte_len": 56,
+    "ret": 64,
+    "payload_len": 72,
+}
+
+CTX_SIZE = 80
+
+_U64 = (1 << 64) - 1
+
+
+class Op(enum.Enum):
+    """Opcodes.  ``_IMM`` variants take an immediate, ``_REG`` a register."""
+
+    MOV_IMM = "mov_imm"
+    MOV_REG = "mov_reg"
+    ADD_IMM = "add_imm"
+    ADD_REG = "add_reg"
+    SUB_IMM = "sub_imm"
+    SUB_REG = "sub_reg"
+    MUL_IMM = "mul_imm"
+    MUL_REG = "mul_reg"
+    DIV_IMM = "div_imm"
+    DIV_REG = "div_reg"
+    MOD_IMM = "mod_imm"
+    MOD_REG = "mod_reg"
+    AND_IMM = "and_imm"
+    AND_REG = "and_reg"
+    OR_IMM = "or_imm"
+    OR_REG = "or_reg"
+    XOR_IMM = "xor_imm"
+    XOR_REG = "xor_reg"
+    LSH_IMM = "lsh_imm"
+    RSH_IMM = "rsh_imm"
+    NEG = "neg"
+    #: dst = *(u64*)(src + off); src must be a ctx or stack pointer.
+    LDX = "ldx"
+    #: *(u64*)(dst + off) = src; dst must be a stack pointer.
+    STX = "stx"
+    #: *(u64*)(dst + off) = imm; dst must be a stack pointer.
+    ST = "st"
+    JA = "ja"
+    JEQ_IMM = "jeq_imm"
+    JEQ_REG = "jeq_reg"
+    JNE_IMM = "jne_imm"
+    JNE_REG = "jne_reg"
+    JGT_IMM = "jgt_imm"
+    JGT_REG = "jgt_reg"
+    JGE_IMM = "jge_imm"
+    JGE_REG = "jge_reg"
+    JLT_IMM = "jlt_imm"
+    JLT_REG = "jlt_reg"
+    JLE_IMM = "jle_imm"
+    JLE_REG = "jle_reg"
+    JSET_IMM = "jset_imm"
+    CALL = "call"
+    EXIT = "exit"
+
+
+#: ALU opcodes whose dst must already be initialized (read-modify-write).
+ALU_RMW_OPS = frozenset({
+    Op.ADD_IMM, Op.ADD_REG, Op.SUB_IMM, Op.SUB_REG, Op.MUL_IMM, Op.MUL_REG,
+    Op.DIV_IMM, Op.DIV_REG, Op.MOD_IMM, Op.MOD_REG, Op.AND_IMM, Op.AND_REG,
+    Op.OR_IMM, Op.OR_REG, Op.XOR_IMM, Op.XOR_REG, Op.LSH_IMM, Op.RSH_IMM,
+    Op.NEG,
+})
+
+#: Conditional-jump opcodes comparing dst against an immediate.
+JMP_IMM_OPS = {
+    Op.JEQ_IMM: lambda a, b: a == b,
+    Op.JNE_IMM: lambda a, b: a != b,
+    Op.JGT_IMM: lambda a, b: a > b,
+    Op.JGE_IMM: lambda a, b: a >= b,
+    Op.JLT_IMM: lambda a, b: a < b,
+    Op.JLE_IMM: lambda a, b: a <= b,
+    Op.JSET_IMM: lambda a, b: (a & b) != 0,
+}
+
+#: Conditional-jump opcodes comparing dst against src.
+JMP_REG_OPS = {
+    Op.JEQ_REG: lambda a, b: a == b,
+    Op.JNE_REG: lambda a, b: a != b,
+    Op.JGT_REG: lambda a, b: a > b,
+    Op.JGE_REG: lambda a, b: a >= b,
+    Op.JLT_REG: lambda a, b: a < b,
+    Op.JLE_REG: lambda a, b: a <= b,
+}
+
+JMP_OPS = frozenset(JMP_IMM_OPS) | frozenset(JMP_REG_OPS)
+
+
+@dataclass(frozen=True)
+class Insn:
+    """One instruction.  ``off`` is a memory offset for LDX/STX/ST and a
+    relative jump distance for jumps (target = pc + 1 + off, as in BPF)."""
+
+    op: Op
+    dst: int = 0
+    src: int = 0
+    off: int = 0
+    imm: int = 0
+
+    def __repr__(self) -> str:  # compact, for verifier error messages
+        return (f"{self.op.value}(dst=r{self.dst}, src=r{self.src}, "
+                f"off={self.off}, imm={self.imm})")
+
+
+# -- helper functions (the kernel-side API surface) -------------------------
+
+#: Helper name → number of argument registers consumed (R1..R1+arity-1).
+HELPERS = {
+    "perf_submit": 1,            # R1 = ctx pointer
+    "read_ctx_field": 2,         # R1 = ctx pointer, R2 = field offset
+    "ktime_get_ns": 0,
+    "get_current_pid_tgid": 0,
+    "get_smp_processor_id": 0,
+    "probe_read_kernel": 2,      # R1 = stack dst pointer, R2 = size
+    "probe_read_user": 2,        # R1 = stack dst pointer, R2 = size
+}
+
+#: Which helpers each hook type may call (the real verifier enforces
+#: prog-type-specific helper sets; kprobes read kernel memory, uprobes
+#: user memory, never the other way round).
+_COMMON_HELPERS = frozenset({
+    "perf_submit", "read_ctx_field", "ktime_get_ns",
+    "get_current_pid_tgid", "get_smp_processor_id",
+})
+
+HOOK_HELPER_WHITELIST = {
+    "kprobe": _COMMON_HELPERS | {"probe_read_kernel"},
+    "tracepoint": _COMMON_HELPERS | {"probe_read_kernel"},
+    "uprobe": _COMMON_HELPERS | {"probe_read_user"},
+    "uretprobe": _COMMON_HELPERS | {"probe_read_user"},
+}
+
+
+def hook_type_of(hook_name: str) -> str:
+    """Classify an attach-point name into its hook type.
+
+    ``sys_enter_*``/``sys_exit_*`` are tracepoints, ``uprobe:``/``uretprobe:``
+    prefixes are user-space probes, everything else (``coroutine_create``,
+    ``socket_close``) attaches as a kprobe.
+    """
+    if hook_name.startswith(("sys_enter_", "sys_exit_")):
+        return "tracepoint"
+    if hook_name.startswith("uprobe:"):
+        return "uprobe"
+    if hook_name.startswith("uretprobe:"):
+        return "uretprobe"
+    return "kprobe"
+
+
+# -- assembler --------------------------------------------------------------
+
+class AssemblerError(Exception):
+    """Malformed program at build time (unknown label, bad register...)."""
+
+
+class ProgramBuilder:
+    """Label-resolving assembler for BPF bytecode.
+
+    >>> b = ProgramBuilder()
+    >>> b.mov_imm(R6, 4)
+    >>> b.label("loop")
+    >>> b.sub_imm(R6, 1)
+    >>> b.jne_imm(R6, 0, "loop")
+    >>> b.mov_imm(R0, 0)
+    >>> b.exit()
+    >>> program = b.assemble()
+    """
+
+    def __init__(self) -> None:
+        self._insns: list[tuple] = []   # (op, dst, src, off_or_label, imm)
+        self._labels: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._insns)
+
+    def label(self, name: str) -> None:
+        """Define *name* at the current position."""
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insns)
+
+    def _emit(self, op: Op, dst: int = 0, src: int = 0,
+              off: "int | str" = 0, imm: int = 0) -> None:
+        for reg in (dst, src):
+            if not 0 <= reg < NUM_REGS:
+                raise AssemblerError(f"bad register r{reg}")
+        self._insns.append((op, dst, src, off, imm))
+
+    # ALU ----------------------------------------------------------------
+    def mov_imm(self, dst: int, imm: int) -> None:
+        """dst = imm."""
+        self._emit(Op.MOV_IMM, dst, imm=imm)
+
+    def mov_reg(self, dst: int, src: int) -> None:
+        """dst = src."""
+        self._emit(Op.MOV_REG, dst, src)
+
+    def add_imm(self, dst: int, imm: int) -> None:
+        """dst += imm."""
+        self._emit(Op.ADD_IMM, dst, imm=imm)
+
+    def add_reg(self, dst: int, src: int) -> None:
+        """dst += src."""
+        self._emit(Op.ADD_REG, dst, src)
+
+    def sub_imm(self, dst: int, imm: int) -> None:
+        """dst -= imm."""
+        self._emit(Op.SUB_IMM, dst, imm=imm)
+
+    def sub_reg(self, dst: int, src: int) -> None:
+        """dst -= src."""
+        self._emit(Op.SUB_REG, dst, src)
+
+    def mul_imm(self, dst: int, imm: int) -> None:
+        """dst *= imm."""
+        self._emit(Op.MUL_IMM, dst, imm=imm)
+
+    def div_imm(self, dst: int, imm: int) -> None:
+        """dst //= imm (imm must be nonzero)."""
+        self._emit(Op.DIV_IMM, dst, imm=imm)
+
+    def mod_imm(self, dst: int, imm: int) -> None:
+        """dst %= imm (imm must be nonzero)."""
+        self._emit(Op.MOD_IMM, dst, imm=imm)
+
+    def and_imm(self, dst: int, imm: int) -> None:
+        """dst &= imm."""
+        self._emit(Op.AND_IMM, dst, imm=imm)
+
+    def or_imm(self, dst: int, imm: int) -> None:
+        """dst |= imm."""
+        self._emit(Op.OR_IMM, dst, imm=imm)
+
+    def xor_reg(self, dst: int, src: int) -> None:
+        """dst ^= src."""
+        self._emit(Op.XOR_REG, dst, src)
+
+    def lsh_imm(self, dst: int, imm: int) -> None:
+        """dst <<= imm."""
+        self._emit(Op.LSH_IMM, dst, imm=imm)
+
+    def rsh_imm(self, dst: int, imm: int) -> None:
+        """dst >>= imm."""
+        self._emit(Op.RSH_IMM, dst, imm=imm)
+
+    # memory --------------------------------------------------------------
+    def ldx(self, dst: int, src: int, off: int) -> None:
+        """dst = *(u64*)(src + off)."""
+        self._emit(Op.LDX, dst, src, off)
+
+    def ld_ctx(self, dst: int, field: str, ctx_reg: int = R1) -> None:
+        """dst = ctx->field (an LDX off the ctx pointer)."""
+        if field not in CTX_FIELDS:
+            raise AssemblerError(f"unknown ctx field {field!r}")
+        self._emit(Op.LDX, dst, ctx_reg, CTX_FIELDS[field])
+
+    def stx(self, dst: int, off: int, src: int) -> None:
+        """*(u64*)(dst + off) = src."""
+        self._emit(Op.STX, dst, src, off)
+
+    def st(self, dst: int, off: int, imm: int) -> None:
+        """*(u64*)(dst + off) = imm."""
+        self._emit(Op.ST, dst, off=off, imm=imm)
+
+    def stack_store(self, off: int, src: int) -> None:
+        """*(u64*)(R10 + off) = src (off negative)."""
+        self._emit(Op.STX, R10, src, off)
+
+    def stack_load(self, dst: int, off: int) -> None:
+        """dst = *(u64*)(R10 + off) (off negative)."""
+        self._emit(Op.LDX, dst, R10, off)
+
+    # control flow --------------------------------------------------------
+    def ja(self, target: "int | str") -> None:
+        """Unconditional jump to *target* (label or relative offset)."""
+        self._emit(Op.JA, off=target)
+
+    def _jmp(self, op: Op, dst: int, src: int, imm: int,
+             target: "int | str") -> None:
+        self._emit(op, dst, src, target, imm)
+
+    def jeq_imm(self, dst, imm, target):
+        """if dst == imm: goto target."""
+        self._jmp(Op.JEQ_IMM, dst, 0, imm, target)
+
+    def jne_imm(self, dst, imm, target):
+        """if dst != imm: goto target."""
+        self._jmp(Op.JNE_IMM, dst, 0, imm, target)
+
+    def jgt_imm(self, dst, imm, target):
+        """if dst > imm: goto target."""
+        self._jmp(Op.JGT_IMM, dst, 0, imm, target)
+
+    def jge_imm(self, dst, imm, target):
+        """if dst >= imm: goto target."""
+        self._jmp(Op.JGE_IMM, dst, 0, imm, target)
+
+    def jlt_imm(self, dst, imm, target):
+        """if dst < imm: goto target."""
+        self._jmp(Op.JLT_IMM, dst, 0, imm, target)
+
+    def jle_imm(self, dst, imm, target):
+        """if dst <= imm: goto target."""
+        self._jmp(Op.JLE_IMM, dst, 0, imm, target)
+
+    def jset_imm(self, dst, imm, target):
+        """if dst & imm: goto target."""
+        self._jmp(Op.JSET_IMM, dst, 0, imm, target)
+
+    def jeq_reg(self, dst, src, target):
+        """if dst == src: goto target."""
+        self._jmp(Op.JEQ_REG, dst, src, 0, target)
+
+    def jne_reg(self, dst, src, target):
+        """if dst != src: goto target."""
+        self._jmp(Op.JNE_REG, dst, src, 0, target)
+
+    def jlt_reg(self, dst, src, target):
+        """if dst < src: goto target."""
+        self._jmp(Op.JLT_REG, dst, src, 0, target)
+
+    def jge_reg(self, dst, src, target):
+        """if dst >= src: goto target."""
+        self._jmp(Op.JGE_REG, dst, src, 0, target)
+
+    def call(self, helper: str) -> None:
+        """Call a named kernel helper (args in R1.., result in R0)."""
+        if helper not in HELPERS:
+            raise AssemblerError(f"unknown helper {helper!r}")
+        self._emit(Op.CALL, imm=helper)
+
+    def exit(self) -> None:
+        """Return R0 to the kernel."""
+        self._emit(Op.EXIT)
+
+    # convenience ---------------------------------------------------------
+    def bounded_loop(self, counter: int, trips: int,
+                     body: Callable[["ProgramBuilder"], None]) -> None:
+        """Emit a counted loop: ``for counter in range(trips): body``.
+
+        The counter register is initialized from an immediate and counts
+        down to zero — the canonical form the verifier can prove bounded.
+        """
+        if trips < 1:
+            raise AssemblerError(f"loop trips must be >= 1, got {trips}")
+        top = f"__loop_{len(self._insns)}"
+        self.mov_imm(counter, trips)
+        self.label(top)
+        body(self)
+        self.sub_imm(counter, 1)
+        self.jne_imm(counter, 0, top)
+
+    def assemble(self) -> tuple[Insn, ...]:
+        """Resolve labels and return the immutable instruction tuple."""
+        resolved: list[Insn] = []
+        for pc, (op, dst, src, off, imm) in enumerate(self._insns):
+            if op is Op.JA or op in JMP_OPS:
+                if isinstance(off, str):
+                    if off not in self._labels:
+                        raise AssemblerError(f"undefined label {off!r}")
+                    off = self._labels[off] - pc - 1
+            elif isinstance(off, str):
+                raise AssemblerError(f"label operand on non-jump {op}")
+            if op is Op.CALL:
+                resolved.append(Insn(op, dst, src, 0, imm))
+            else:
+                resolved.append(Insn(op, dst, src, off, imm))
+        return tuple(resolved)
+
+
+# -- interpreter ------------------------------------------------------------
+
+class BPFTrap(Exception):
+    """Runtime fault while executing bytecode (uninitialized read, bad
+    memory access, division by zero, step-limit overrun).
+
+    A *verified* program never raises this — that implication is what the
+    property tests check."""
+
+
+_UNINIT = object()
+
+
+def _signed_of(v: int) -> int:
+    """Interpret a u64 value as a two's-complement signed offset."""
+    v &= _U64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def context_words(context: Any) -> dict[int, int]:
+    """Lower a hook-context object to the ctx memory a program reads.
+
+    Unknown/missing fields read as 0, so programs run against any context
+    object (tests fire hooks with bare ``object()`` sentinels)."""
+    words: dict[int, int] = {}
+    for name, off in CTX_FIELDS.items():
+        if name == "timestamp_ns":
+            value = getattr(context, "timestamp", 0) or 0
+            value = int(value * 1e9)
+        elif name == "payload_len":
+            value = len(getattr(context, "payload", b"") or b"")
+        elif name == "direction":
+            raw = getattr(context, "direction", None)
+            value = getattr(raw, "value", 0) if raw is not None else 0
+            if not isinstance(value, int):
+                value = 0
+        else:
+            value = getattr(context, name, 0)
+            if not isinstance(value, int):
+                value = 0
+        words[off] = value & _U64
+    return words
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one interpreted run."""
+
+    return_value: int
+    steps: int
+    submissions: int
+
+
+def execute(bytecode: tuple[Insn, ...], context: Any = None, *,
+            submit: Optional[Callable[[Any], Any]] = None,
+            max_steps: int = 4_000_000) -> ExecutionResult:
+    """Run *bytecode* against *context*; returns :class:`ExecutionResult`.
+
+    ``submit`` receives the context object on each ``perf_submit`` call.
+    Raises :class:`BPFTrap` on any runtime fault — the faults the static
+    verifier exists to rule out.
+    """
+    ctx_mem = context_words(context)
+    regs: list = [_UNINIT] * NUM_REGS
+    regs[R1] = ("ctx", 0)
+    regs[R10] = ("stack", 0)
+    stack: dict[int, int] = {}
+    pc = 0
+    steps = 0
+    submissions = 0
+    n = len(bytecode)
+
+    def scalar(reg: int) -> int:
+        value = regs[reg]
+        if value is _UNINIT:
+            raise BPFTrap(f"read of uninitialized r{reg} at pc {pc}")
+        if isinstance(value, tuple):
+            raise BPFTrap(f"r{reg} holds a pointer where a scalar is "
+                          f"needed at pc {pc}")
+        return value
+
+    while True:
+        if pc < 0 or pc >= n:
+            raise BPFTrap(f"pc {pc} out of range")
+        steps += 1
+        if steps > max_steps:
+            raise BPFTrap(f"step limit {max_steps} exceeded")
+        insn = bytecode[pc]
+        op = insn.op
+        if op is Op.EXIT:
+            return ExecutionResult(scalar(R0), steps, submissions)
+        if op is Op.MOV_IMM:
+            regs[insn.dst] = insn.imm & _U64
+        elif op is Op.MOV_REG:
+            value = regs[insn.src]
+            if value is _UNINIT:
+                raise BPFTrap(f"read of uninitialized r{insn.src} "
+                              f"at pc {pc}")
+            regs[insn.dst] = value
+        elif op in ALU_RMW_OPS:
+            held = regs[insn.dst]
+            if isinstance(held, tuple) and op in (
+                    Op.ADD_IMM, Op.ADD_REG, Op.SUB_IMM, Op.SUB_REG):
+                # Pointer +/- scalar adjusts the pointer's offset.
+                if op.value.endswith("imm"):
+                    delta = insn.imm
+                else:
+                    delta = _signed_of(scalar(insn.src))
+                if op in (Op.SUB_IMM, Op.SUB_REG):
+                    delta = -delta
+                regs[insn.dst] = (held[0], held[1] + delta)
+            else:
+                a = scalar(insn.dst)
+                if op is Op.NEG:
+                    regs[insn.dst] = (-a) & _U64
+                else:
+                    b = (insn.imm & _U64 if op.value.endswith("imm")
+                         else scalar(insn.src))
+                    regs[insn.dst] = _alu(op, a, b, pc)
+        elif op is Op.LDX:
+            base = regs[insn.src]
+            if base is _UNINIT or not isinstance(base, tuple):
+                raise BPFTrap(f"LDX from non-pointer r{insn.src} at pc {pc}")
+            kind, extra = base
+            addr = extra + insn.off
+            if kind == "ctx":
+                if addr % WORD or not 0 <= addr <= CTX_SIZE - WORD:
+                    raise BPFTrap(f"ctx load at bad offset {addr} "
+                                  f"at pc {pc}")
+                regs[insn.dst] = ctx_mem.get(addr, 0)
+            else:  # stack
+                if addr % WORD or not -STACK_SIZE <= addr <= -WORD:
+                    raise BPFTrap(f"stack load at bad offset {addr} "
+                                  f"at pc {pc}")
+                if addr not in stack:
+                    raise BPFTrap(f"read of uninitialized stack slot "
+                                  f"{addr} at pc {pc}")
+                regs[insn.dst] = stack[addr]
+        elif op in (Op.STX, Op.ST):
+            base = regs[insn.dst]
+            if base is _UNINIT or not isinstance(base, tuple) \
+                    or base[0] != "stack":
+                raise BPFTrap(f"store through non-stack r{insn.dst} "
+                              f"at pc {pc}")
+            addr = base[1] + insn.off
+            if addr % WORD or not -STACK_SIZE <= addr <= -WORD:
+                raise BPFTrap(f"stack store at bad offset {addr} "
+                              f"at pc {pc}")
+            stack[addr] = (insn.imm & _U64 if op is Op.ST
+                           else scalar(insn.src))
+        elif op is Op.JA:
+            pc += insn.off
+        elif op in JMP_IMM_OPS:
+            if JMP_IMM_OPS[op](scalar(insn.dst), insn.imm & _U64):
+                pc += insn.off
+        elif op in JMP_REG_OPS:
+            if JMP_REG_OPS[op](scalar(insn.dst), scalar(insn.src)):
+                pc += insn.off
+        elif op is Op.CALL:
+            submissions += _call_helper(insn.imm, regs, stack, ctx_mem,
+                                        context, submit, pc)
+        else:  # pragma: no cover - exhaustive over Op
+            raise BPFTrap(f"unimplemented op {op} at pc {pc}")
+        pc += 1
+
+
+def _alu(op: Op, a: int, b: int, pc: int) -> int:
+    if op in (Op.ADD_IMM, Op.ADD_REG):
+        return (a + b) & _U64
+    if op in (Op.SUB_IMM, Op.SUB_REG):
+        return (a - b) & _U64
+    if op in (Op.MUL_IMM, Op.MUL_REG):
+        return (a * b) & _U64
+    if op in (Op.DIV_IMM, Op.DIV_REG):
+        if b == 0:
+            raise BPFTrap(f"division by zero at pc {pc}")
+        return (a // b) & _U64
+    if op in (Op.MOD_IMM, Op.MOD_REG):
+        if b == 0:
+            raise BPFTrap(f"modulo by zero at pc {pc}")
+        return (a % b) & _U64
+    if op in (Op.AND_IMM, Op.AND_REG):
+        return a & b
+    if op in (Op.OR_IMM, Op.OR_REG):
+        return a | b
+    if op in (Op.XOR_IMM, Op.XOR_REG):
+        return a ^ b
+    if op is Op.LSH_IMM:
+        return (a << (b & 63)) & _U64
+    if op is Op.RSH_IMM:
+        return a >> (b & 63)
+    raise BPFTrap(f"unimplemented ALU op {op} at pc {pc}")
+
+
+def _call_helper(helper: str, regs: list, stack: dict, ctx_mem: dict,
+                 context: Any, submit, pc: int) -> int:
+    """Execute a helper call; returns 1 if a perf submission happened."""
+    arity = HELPERS.get(helper)
+    if arity is None:
+        raise BPFTrap(f"unknown helper {helper!r} at pc {pc}")
+    for reg in range(R1, R1 + arity):
+        if regs[reg] is _UNINIT:
+            raise BPFTrap(f"helper {helper} argument r{reg} "
+                          f"uninitialized at pc {pc}")
+    submitted = 0
+    if helper == "perf_submit":
+        if not (isinstance(regs[R1], tuple) and regs[R1][0] == "ctx"):
+            raise BPFTrap(f"perf_submit needs ctx pointer in r1 at pc {pc}")
+        if submit is not None:
+            submit(context)
+        submitted = 1
+        result = 0
+    elif helper == "read_ctx_field":
+        if not (isinstance(regs[R1], tuple) and regs[R1][0] == "ctx"):
+            raise BPFTrap(f"read_ctx_field needs ctx pointer in r1 "
+                          f"at pc {pc}")
+        off = regs[R2]
+        if isinstance(off, tuple) or off % WORD \
+                or not 0 <= off <= CTX_SIZE - WORD:
+            raise BPFTrap(f"read_ctx_field bad offset {off!r} at pc {pc}")
+        result = ctx_mem.get(off, 0)
+    elif helper == "ktime_get_ns":
+        result = ctx_mem.get(CTX_FIELDS["timestamp_ns"], 0)
+    elif helper == "get_current_pid_tgid":
+        result = ((ctx_mem.get(CTX_FIELDS["pid"], 0) << 32)
+                  | ctx_mem.get(CTX_FIELDS["tid"], 0)) & _U64
+    elif helper == "get_smp_processor_id":
+        result = 0
+    elif helper in ("probe_read_kernel", "probe_read_user"):
+        dst = regs[R1]
+        size = regs[R2]
+        if not (isinstance(dst, tuple) and dst[0] == "stack"):
+            raise BPFTrap(f"{helper} needs stack pointer in r1 at pc {pc}")
+        if isinstance(size, tuple) or size % WORD or size <= 0:
+            raise BPFTrap(f"{helper} bad size {size!r} at pc {pc}")
+        lo = dst[1]
+        if lo % WORD or not -STACK_SIZE <= lo or lo + size > 0:
+            raise BPFTrap(f"{helper} writes outside the stack at pc {pc}")
+        for off in range(lo, lo + size, WORD):
+            stack[off] = 0
+        result = 0
+    else:  # pragma: no cover - exhaustive over HELPERS
+        raise BPFTrap(f"unimplemented helper {helper!r} at pc {pc}")
+    # BPF calling convention: R1-R5 are clobbered by the call.
+    for reg in range(R1, R5 + 1):
+        regs[reg] = _UNINIT
+    regs[R0] = result & _U64
+    return submitted

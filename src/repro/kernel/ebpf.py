@@ -21,8 +21,15 @@ that triggered it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Optional
 
+from repro.kernel.bpf_isa import Insn, execute, hook_type_of
+from repro.kernel.verifier import (
+    VerifierError,
+    VerifierReport,
+    verify_bytecode,
+)
 from repro.sim.engine import Simulator
 from repro.sim.queue import Queue
 
@@ -39,24 +46,24 @@ MAX_INSTRUCTIONS = 1_000_000
 MAX_STACK_BYTES = 512
 
 
-class VerifierError(Exception):
-    """Raised when a BPF program fails verification and may not attach."""
-
-
 @dataclass
 class BPFProgram:
     """A small program attached to a hook point.
 
     ``handler`` is the program body: a callable receiving the hook context.
-    ``instructions``/``stack_bytes``/``has_unbounded_loop`` describe the
-    program to the verifier and the latency model.
+    ``bytecode`` is the program text in the :mod:`repro.kernel.bpf_isa`
+    instruction set; when present the verifier *analyzes* it (CFG, loop
+    bounds, register state, stack depth) and the derived worst-case path
+    length — not the declared ``instructions`` estimate — drives the
+    Fig 13 latency model.  ``instructions``/``stack_bytes`` remain as
+    declared estimates for model-only programs without bytecode.
     """
 
     name: str
     handler: Callable[[Any], None]
     instructions: int = 500
     stack_bytes: int = 128
-    has_unbounded_loop: bool = False
+    bytecode: Optional[tuple[Insn, ...]] = None
     #: System-level cost per firing beyond pure dispatch: perf-buffer
     #: submission, payload copy-out, map churn, cache pressure.  The
     #: paper's own numbers motivate this split: per-hook dispatch is
@@ -64,28 +71,71 @@ class BPFProgram:
     #: syscall at the macro level (Appendix B's 44k→31k RPS drop).
     system_tax_ns: float = 0.0
     runtime_faults: int = field(default=0, init=False)
+    #: Set by :func:`verify_program` when the program carries bytecode.
+    verified: Optional[VerifierReport] = field(default=None, init=False)
+
+    @property
+    def effective_instructions(self) -> int:
+        """Verifier-derived worst-case path length, falling back to the
+        declared estimate for programs without bytecode."""
+        if self.verified is not None:
+            return self.verified.worst_case_instructions
+        return self.instructions
 
     @property
     def latency_ns(self) -> float:
         """Pure dispatch latency per firing (the Fig 13 quantity)."""
         return (EMPTY_PROGRAM_LATENCY_NS
-                + self.instructions * PER_INSTRUCTION_LATENCY_NS)
+                + self.effective_instructions * PER_INSTRUCTION_LATENCY_NS)
 
     @property
     def cost_ns(self) -> float:
         """Total kernel time charged per firing."""
         return self.latency_ns + self.system_tax_ns
 
+    def execute(self, context: Any = None, *, submit=None):
+        """Run the program's bytecode in the interpreter (tests/debugging)."""
+        if self.bytecode is None:
+            raise ValueError(f"program {self.name!r} carries no bytecode")
+        return execute(self.bytecode, context, submit=submit)
 
-def verify_program(program: BPFProgram) -> None:
+
+@lru_cache(maxsize=256)
+def _verify_cached(bytecode: tuple[Insn, ...],
+                   hook_type: str) -> VerifierReport:
+    """Verification is deterministic and agents share bytecode tuples,
+    so the (immutable) report can be memoized across attaches — one
+    analysis per distinct program text, not one per deploy."""
+    return verify_bytecode(bytecode, hook_type,
+                           stack_limit=MAX_STACK_BYTES,
+                           max_path=MAX_INSTRUCTIONS)
+
+
+def verify_program(program: BPFProgram,
+                   hook_type: str = "kprobe") -> None:
     """Static checks performed before a program may attach (§2.3.1).
 
-    Raises :class:`VerifierError` on rejection.  Mirrors the real verifier's
-    refusal of unbounded loops, oversized programs, and deep stacks.
+    Raises :class:`VerifierError` on rejection.  Programs carrying bytecode
+    get the full static analysis (:func:`repro.kernel.verifier.
+    verify_bytecode`): CFG construction, back-edge trip-bound proofs,
+    abstract register typing, stack bounds, and the per-hook-type helper
+    whitelist; the derived worst-case path length is recorded on
+    ``program.verified`` and replaces the declared instruction count in
+    the latency model.  Programs without bytecode only get the declared
+    size/stack checks (the honor-system path kept for model-only
+    programs).
     """
-    if program.has_unbounded_loop:
-        raise VerifierError(
-            f"program {program.name!r}: back-edge without bounded trip count")
+    if program.bytecode is not None:
+        try:
+            program.verified = _verify_cached(program.bytecode, hook_type)
+        except VerifierError:
+            # Re-run uncached so the error names this program.
+            verify_bytecode(program.bytecode, hook_type,
+                            stack_limit=MAX_STACK_BYTES,
+                            max_path=MAX_INSTRUCTIONS,
+                            name=program.name)
+            raise
+        return
     if program.instructions > MAX_INSTRUCTIONS:
         raise VerifierError(
             f"program {program.name!r}: {program.instructions} instructions "
@@ -107,17 +157,37 @@ class HookRegistry:
     def __init__(self) -> None:
         self._hooks: dict[str, list[BPFProgram]] = {}
         self.total_firings = 0
+        #: Programs refused by the verifier since boot (observability of
+        #: the safety mechanism itself).
+        self.verifier_rejections = 0
 
     def attach(self, hook_name: str, program: BPFProgram) -> None:
-        """Verify and attach *program* to *hook_name* (in-flight, §3.2.2)."""
-        verify_program(program)
+        """Verify and attach *program* to *hook_name* (in-flight, §3.2.2).
+
+        The verifier runs with the hook type derived from the attach point
+        (tracepoint / kprobe / uprobe / uretprobe), so helper whitelists
+        are enforced per hook type.
+        """
+        try:
+            verify_program(program, hook_type_of(hook_name))
+        except VerifierError:
+            self.verifier_rejections += 1
+            raise
         self._hooks.setdefault(hook_name, []).append(program)
 
     def detach(self, hook_name: str, program: BPFProgram) -> None:
-        """Remove *program* from *hook_name*."""
-        programs = self._hooks.get(hook_name, [])
+        """Remove *program* from *hook_name*.
+
+        The attach point itself is pruned once its last program is gone,
+        so iteration over attach points never reports stale hooks.
+        """
+        programs = self._hooks.get(hook_name)
+        if programs is None:
+            return
         if program in programs:
             programs.remove(program)
+        if not programs:
+            del self._hooks[hook_name]
 
     def detach_all(self) -> None:
         """Remove every attached program."""
@@ -126,6 +196,10 @@ class HookRegistry:
     def attached(self, hook_name: str) -> list[BPFProgram]:
         """Programs currently attached to *hook_name*."""
         return list(self._hooks.get(hook_name, ()))
+
+    def attach_points(self) -> list[str]:
+        """Hook names that currently have at least one program."""
+        return sorted(self._hooks)
 
     def has_hook(self, hook_name: str) -> bool:
         """Whether any program is attached to *hook_name*."""

@@ -1,0 +1,583 @@
+"""Static analysis over BPF bytecode: the in-kernel verifier, reproduced.
+
+The real verifier is what makes eBPF attachment safe (§2.3.1): before a
+program may attach it is proven to terminate, to never read uninitialized
+state, to never access memory out of bounds, and to call only helpers its
+program type is allowed.  This module performs those analyses on
+:mod:`repro.kernel.bpf_isa` bytecode:
+
+* **structural checks** — jump targets in range, no fall-through past the
+  end, no unreachable instructions;
+* **CFG construction** with back-edge detection;
+* **abstract interpretation** over all paths, tracking per-register types
+  (uninitialized / scalar / ctx-pointer / stack-pointer) with constant
+  folding.  A back-edge is accepted only when the abstract state keeps
+  changing until the loop exits — i.e. a provable trip bound; a recurring
+  abstract state is a proof of non-termination and rejects the program.
+  This mirrors the kernel verifier's path-exploration design (it too walks
+  every path under an instruction budget);
+* **bounds** — stack depth, ctx-load offsets, helper whitelist per hook
+  type, division by a provably nonzero divisor only;
+* **worst-case path length** — the longest instruction sequence any
+  execution can take, loops included.  This derived count (not a declared
+  one) feeds the Fig 13 latency model via ``BPFProgram.latency_ns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.kernel.bpf_isa import (
+    ALU_RMW_OPS,
+    CTX_SIZE,
+    HELPERS,
+    HOOK_HELPER_WHITELIST,
+    Insn,
+    JMP_IMM_OPS,
+    JMP_OPS,
+    JMP_REG_OPS,
+    NUM_REGS,
+    Op,
+    R0,
+    R1,
+    R2,
+    R5,
+    R10,
+    STACK_SIZE,
+    WORD,
+)
+
+_U64 = (1 << 64) - 1
+
+#: Hard cap on the *worst-case executed path length* (the kernel's 1M).
+MAX_PATH_INSTRUCTIONS = 1_000_000
+
+#: Budget on abstract states explored before a program is "too complex".
+DEFAULT_STATE_BUDGET = 1_000_000
+
+
+class VerifierError(Exception):
+    """Raised when a BPF program fails verification and may not attach."""
+
+
+# -- abstract values --------------------------------------------------------
+# None            -> uninitialized
+# ("s", v|None)   -> scalar, optionally a known constant
+# ("c", off)      -> ctx pointer + constant offset
+# ("f", off)      -> stack (frame) pointer + constant offset
+
+_SCALAR_UNKNOWN = ("s", None)
+
+
+def _signed(v: int) -> int:
+    """Interpret a u64 value as a two's-complement signed offset."""
+    v &= _U64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def _is_scalar(v) -> bool:
+    return v is not None and v[0] == "s"
+
+
+def _is_ptr(v) -> bool:
+    return v is not None and v[0] in ("c", "f")
+
+
+@dataclass(frozen=True)
+class VerifierReport:
+    """Everything the verifier proved about a program."""
+
+    #: Static instruction count of the program text.
+    insn_count: int
+    #: Longest executable instruction sequence (loops fully expanded).
+    worst_case_instructions: int
+    #: Deepest stack usage proven, bytes.
+    stack_bytes: int
+    #: Basic blocks in the (reachable) CFG.
+    block_count: int
+    #: Structural back-edges, each with its proven trip bound —
+    #: the number of times the edge can be taken (a loop of N
+    #: iterations takes its back-edge N-1 times):
+    #: ``(src_pc, dst_pc, max_taken)``.
+    loop_bounds: tuple[tuple[int, int, int], ...]
+    #: Helpers the program may call.
+    helpers: tuple[str, ...]
+    #: Abstract states explored during verification.
+    states_explored: int
+
+    @property
+    def back_edge_count(self) -> int:
+        """Number of structural loops."""
+        return len(self.loop_bounds)
+
+
+# -- structural layer -------------------------------------------------------
+
+def _successor_pcs(bytecode: tuple[Insn, ...], pc: int) -> list[int]:
+    """CFG successors of the instruction at *pc* (validated)."""
+    insn = bytecode[pc]
+    n = len(bytecode)
+    if insn.op is Op.EXIT:
+        return []
+    succs = []
+    if insn.op is Op.JA:
+        succs = [pc + 1 + insn.off]
+    elif insn.op in JMP_OPS:
+        succs = [pc + 1, pc + 1 + insn.off]
+    else:
+        succs = [pc + 1]
+    for target in succs:
+        if not 0 <= target < n:
+            if target == n:
+                raise VerifierError(
+                    f"pc {pc}: control falls off the end of the program")
+            raise VerifierError(
+                f"pc {pc}: jump target {target} out of range")
+    return succs
+
+
+def _structural_analysis(bytecode: tuple[Insn, ...]):
+    """Reachability, basic blocks, and back-edges of the static CFG."""
+    n = len(bytecode)
+    succs = {pc: _successor_pcs(bytecode, pc) for pc in range(n)}
+    reachable: set[int] = set()
+    worklist = [0]
+    while worklist:
+        pc = worklist.pop()
+        if pc in reachable:
+            continue
+        reachable.add(pc)
+        worklist.extend(succs[pc])
+    unreachable = sorted(set(range(n)) - reachable)
+    if unreachable:
+        raise VerifierError(
+            f"unreachable instruction at pc {unreachable[0]} "
+            f"({bytecode[unreachable[0]]!r})")
+    # Basic-block leaders: entry, jump targets, fall-throughs after jumps.
+    leaders = {0}
+    for pc in range(n):
+        insn = bytecode[pc]
+        if insn.op is Op.JA or insn.op in JMP_OPS:
+            leaders.update(succs[pc])
+        if insn.op in JMP_OPS or insn.op is Op.EXIT:
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+    block_count = len(leaders & reachable)
+    # Back-edges via iterative DFS (gray/black coloring).
+    back_edges: list[tuple[int, int]] = []
+    color: dict[int, int] = {}  # 1 = on stack, 2 = done
+    stack: list[tuple[int, int]] = [(0, 0)]
+    color[0] = 1
+    while stack:
+        pc, idx = stack[-1]
+        if idx < len(succs[pc]):
+            stack[-1] = (pc, idx + 1)
+            nxt = succs[pc][idx]
+            state = color.get(nxt)
+            if state == 1:
+                back_edges.append((pc, nxt))
+            elif state is None:
+                color[nxt] = 1
+                stack.append((nxt, 0))
+        else:
+            color[pc] = 2
+            stack.pop()
+    return block_count, sorted(set(back_edges))
+
+
+def _validate_insns(bytecode: tuple[Insn, ...], hook_type: str) -> None:
+    """Per-instruction static validity (registers, helpers, immediates)."""
+    whitelist = HOOK_HELPER_WHITELIST.get(hook_type)
+    if whitelist is None:
+        raise VerifierError(f"unknown hook type {hook_type!r}")
+    for pc, insn in enumerate(bytecode):
+        if not isinstance(insn, Insn):
+            raise VerifierError(f"pc {pc}: not an instruction: {insn!r}")
+        if not 0 <= insn.dst < NUM_REGS or not 0 <= insn.src < NUM_REGS:
+            raise VerifierError(f"pc {pc}: bad register operand")
+        if insn.op in (Op.DIV_IMM, Op.MOD_IMM) and insn.imm == 0:
+            raise VerifierError(f"pc {pc}: division by zero immediate")
+        if insn.dst == R10 and (insn.op is Op.MOV_IMM
+                                or insn.op is Op.MOV_REG
+                                or insn.op is Op.LDX
+                                or insn.op in ALU_RMW_OPS):
+            raise VerifierError(
+                f"pc {pc}: frame pointer r10 is read-only")
+        if insn.op is Op.CALL:
+            if insn.imm not in HELPERS:
+                raise VerifierError(f"pc {pc}: unknown helper {insn.imm!r}")
+            if insn.imm not in whitelist:
+                raise VerifierError(
+                    f"pc {pc}: helper {insn.imm!r} not allowed from "
+                    f"{hook_type} programs")
+
+
+# -- abstract interpretation ------------------------------------------------
+
+class _Analysis:
+    """Path exploration with memoized longest-suffix computation.
+
+    Each abstract state is (pc, registers, stack contents).  Executing one
+    instruction yields 0 (exit), 1, or 2 (unknown-condition fork) successor
+    states.  The state graph must be a DAG: a successor that is an ancestor
+    on the current DFS path means the abstract state recurs without
+    progress, i.e. the loop cannot be proven to terminate.  The longest
+    path through the DAG is the worst-case executed instruction count.
+    """
+
+    def __init__(self, bytecode: tuple[Insn, ...], hook_type: str,
+                 stack_limit: int, state_budget: int):
+        self.bytecode = bytecode
+        self.hook_type = hook_type
+        self.stack_limit = stack_limit
+        self.state_budget = state_budget
+        self.max_stack_depth = 0
+        self.helpers_used: set[str] = set()
+        self.back_edge_trips: dict[tuple[int, int], int] = {}
+        self.states_explored = 0
+
+    def initial_state(self):
+        regs = [None] * NUM_REGS
+        regs[R1] = ("c", 0)
+        regs[R10] = ("f", 0)
+        return (0, tuple(regs), ())
+
+    def run(self) -> int:
+        """Returns the worst-case path length; raises VerifierError."""
+        memo: dict[tuple, int] = {}
+        on_path: set[tuple] = set()
+        init = self.initial_state()
+        # Iterative DFS: (state, successor list or None, next index).
+        stack: list[list] = [[init, None, 0]]
+        on_path.add(init)
+        while stack:
+            frame = stack[-1]
+            state, succs, idx = frame
+            if succs is None:
+                self.states_explored += 1
+                if self.states_explored > self.state_budget:
+                    raise VerifierError(
+                        f"program too complex: more than "
+                        f"{self.state_budget} abstract states")
+                frame[1] = succs = self.step(state)
+            if frame[2] < len(succs):
+                frame[2] += 1
+                nxt = succs[frame[2] - 1]
+                if nxt[0] <= state[0]:
+                    edge = (state[0], nxt[0])
+                    self.back_edge_trips[edge] = \
+                        self.back_edge_trips.get(edge, 0) + 1
+                if nxt in on_path:
+                    raise VerifierError(
+                        f"back-edge {state[0]}->{nxt[0]} without a "
+                        f"provable trip bound: abstract state recurs "
+                        f"(unbounded loop)")
+                if nxt not in memo:
+                    on_path.add(nxt)
+                    stack.append([nxt, None, 0])
+            else:
+                suffix = 1 + max(
+                    (memo[s] for s in succs), default=0)
+                memo[state] = suffix
+                on_path.discard(state)
+                stack.pop()
+        return memo[init]
+
+    # -- one-instruction abstract step ----------------------------------
+
+    def step(self, state) -> list:
+        pc, regs_t, stack_t = state
+        insn = self.bytecode[pc]
+        op = insn.op
+        regs = list(regs_t)
+        stack = dict(stack_t)
+
+        def scalar_of(reg: int):
+            v = regs[reg]
+            if v is None:
+                raise VerifierError(
+                    f"pc {pc}: read of uninitialized r{reg}")
+            if _is_ptr(v):
+                raise VerifierError(
+                    f"pc {pc}: r{reg} holds a pointer where a scalar "
+                    f"is required")
+            return v[1]
+
+        def pack(new_pc: int):
+            return (new_pc, tuple(regs), tuple(sorted(stack.items())))
+
+        if op is Op.EXIT:
+            v = regs[R0]
+            if v is None:
+                raise VerifierError(
+                    f"pc {pc}: r0 is uninitialized at exit")
+            if _is_ptr(v):
+                raise VerifierError(f"pc {pc}: r0 leaks a pointer at exit")
+            return []
+        if op is Op.MOV_IMM:
+            regs[insn.dst] = ("s", insn.imm & _U64)
+            return [pack(pc + 1)]
+        if op is Op.MOV_REG:
+            v = regs[insn.src]
+            if v is None:
+                raise VerifierError(
+                    f"pc {pc}: read of uninitialized r{insn.src}")
+            regs[insn.dst] = v
+            return [pack(pc + 1)]
+        if op in ALU_RMW_OPS:
+            self._abstract_alu(pc, insn, regs, scalar_of)
+            return [pack(pc + 1)]
+        if op is Op.LDX:
+            self._abstract_load(pc, insn, regs, stack)
+            return [pack(pc + 1)]
+        if op in (Op.STX, Op.ST):
+            self._abstract_store(pc, insn, regs, stack, scalar_of)
+            return [pack(pc + 1)]
+        if op is Op.JA:
+            return [pack(pc + 1 + insn.off)]
+        if op in JMP_IMM_OPS or op in JMP_REG_OPS:
+            return self._abstract_jump(pc, insn, regs, stack, scalar_of)
+        if op is Op.CALL:
+            self._abstract_call(pc, insn, regs, stack)
+            return [pack(pc + 1)]
+        raise VerifierError(f"pc {pc}: unverifiable op {op}")
+
+    def _abstract_alu(self, pc, insn, regs, scalar_of) -> None:
+        op = insn.op
+        dst_v = regs[insn.dst]
+        if dst_v is None:
+            raise VerifierError(
+                f"pc {pc}: read of uninitialized r{insn.dst}")
+        if op.value.endswith("imm"):
+            rhs_known, rhs = True, insn.imm  # raw: sign matters to ptrs
+        elif op is Op.NEG:
+            rhs_known, rhs = True, 0
+        else:
+            rhs = scalar_of(insn.src)
+            rhs_known = rhs is not None
+        if _is_ptr(dst_v):
+            # Pointer arithmetic: only += / -= a *known* scalar, so the
+            # resulting offset stays provably in bounds.
+            if op not in (Op.ADD_IMM, Op.ADD_REG, Op.SUB_IMM, Op.SUB_REG):
+                raise VerifierError(
+                    f"pc {pc}: arithmetic {op.value} on pointer "
+                    f"r{insn.dst}")
+            if not rhs_known:
+                raise VerifierError(
+                    f"pc {pc}: pointer r{insn.dst} offset by unbounded "
+                    f"scalar")
+            delta = _signed(rhs)
+            if op in (Op.SUB_IMM, Op.SUB_REG):
+                delta = -delta
+            regs[insn.dst] = (dst_v[0], dst_v[1] + delta)
+            return
+        lhs = dst_v[1]
+        if op in (Op.DIV_REG, Op.MOD_REG):
+            if not rhs_known or rhs == 0:
+                raise VerifierError(
+                    f"pc {pc}: division by a scalar not provably "
+                    f"nonzero")
+        if lhs is None or (not rhs_known and op is not Op.NEG):
+            regs[insn.dst] = _SCALAR_UNKNOWN
+            return
+        regs[insn.dst] = ("s", _fold(op, lhs, rhs & _U64))
+
+    def _abstract_load(self, pc, insn, regs, stack) -> None:
+        base = regs[insn.src]
+        if base is None or not _is_ptr(base):
+            raise VerifierError(
+                f"pc {pc}: LDX from non-pointer r{insn.src}")
+        addr = base[1] + insn.off
+        if base[0] == "c":
+            if addr % WORD or not 0 <= addr <= CTX_SIZE - WORD:
+                raise VerifierError(
+                    f"pc {pc}: ctx load at invalid offset {addr}")
+            regs[insn.dst] = _SCALAR_UNKNOWN
+        else:
+            self._check_stack_slot(pc, addr, "load")
+            if addr not in stack:
+                raise VerifierError(
+                    f"pc {pc}: read of uninitialized stack slot {addr}")
+            regs[insn.dst] = stack[addr]
+
+    def _abstract_store(self, pc, insn, regs, stack, scalar_of) -> None:
+        base = regs[insn.dst]
+        if base is None or not _is_ptr(base) or base[0] != "f":
+            raise VerifierError(
+                f"pc {pc}: store through non-stack r{insn.dst}")
+        addr = base[1] + insn.off
+        self._check_stack_slot(pc, addr, "store")
+        if insn.op is Op.ST:
+            stack[addr] = ("s", insn.imm & _U64)
+        else:
+            v = regs[insn.src]
+            if v is None:
+                raise VerifierError(
+                    f"pc {pc}: read of uninitialized r{insn.src}")
+            stack[addr] = v
+
+    def _check_stack_slot(self, pc: int, addr: int, what: str) -> None:
+        if addr % WORD or not -self.stack_limit <= addr <= -WORD:
+            raise VerifierError(
+                f"pc {pc}: stack {what} at invalid offset {addr} "
+                f"(limit {self.stack_limit}B)")
+        self.max_stack_depth = max(self.max_stack_depth, -addr)
+
+    def _abstract_jump(self, pc, insn, regs, stack, scalar_of) -> list:
+        op = insn.op
+        lhs = scalar_of(insn.dst)
+        if op in JMP_REG_OPS:
+            rhs = scalar_of(insn.src)
+            rhs_known = rhs is not None
+            test = JMP_REG_OPS[op]
+        else:
+            rhs, rhs_known = insn.imm & _U64, True
+            test = JMP_IMM_OPS[op]
+        taken_pc = pc + 1 + insn.off
+        fall_pc = pc + 1
+
+        def pack(new_pc, new_regs):
+            return (new_pc, tuple(new_regs),
+                    tuple(sorted(stack.items())))
+
+        if lhs is not None and rhs_known:
+            # Both sides known: the branch is decided at verification time.
+            return [pack(taken_pc if test(lhs, rhs) else fall_pc, regs)]
+        # Unknown condition: explore both arms, refining equality facts.
+        taken_regs = list(regs)
+        fall_regs = list(regs)
+        if rhs_known and _is_scalar(regs[insn.dst]):
+            if op is Op.JEQ_IMM:
+                taken_regs[insn.dst] = ("s", rhs)
+            elif op is Op.JNE_IMM:
+                fall_regs[insn.dst] = ("s", rhs)
+        return [pack(fall_pc, fall_regs), pack(taken_pc, taken_regs)]
+
+    def _abstract_call(self, pc, insn, regs, stack) -> None:
+        helper = insn.imm
+        self.helpers_used.add(helper)
+        arity = HELPERS[helper]
+        for reg in range(R1, R1 + arity):
+            if regs[reg] is None:
+                raise VerifierError(
+                    f"pc {pc}: helper {helper} argument r{reg} "
+                    f"uninitialized")
+        if helper in ("perf_submit", "read_ctx_field"):
+            if not (regs[R1] is not None and regs[R1][0] == "c"
+                    and regs[R1][1] == 0):
+                raise VerifierError(
+                    f"pc {pc}: helper {helper} requires the ctx pointer "
+                    f"in r1")
+        if helper == "read_ctx_field":
+            off_v = regs[R2]
+            if not _is_scalar(off_v) or off_v[1] is None:
+                raise VerifierError(
+                    f"pc {pc}: read_ctx_field offset must be a known "
+                    f"constant")
+            if off_v[1] % WORD or not 0 <= off_v[1] <= CTX_SIZE - WORD:
+                raise VerifierError(
+                    f"pc {pc}: read_ctx_field offset {off_v[1]} out of "
+                    f"bounds")
+        if helper in ("probe_read_kernel", "probe_read_user"):
+            dst_v, size_v = regs[R1], regs[R2]
+            if not (_is_ptr(dst_v) and dst_v[0] == "f"):
+                raise VerifierError(
+                    f"pc {pc}: {helper} destination must be a stack "
+                    f"pointer")
+            if not _is_scalar(size_v) or size_v[1] is None:
+                raise VerifierError(
+                    f"pc {pc}: {helper} size must be a known constant")
+            size = size_v[1]
+            if size <= 0 or size % WORD:
+                raise VerifierError(
+                    f"pc {pc}: {helper} size {size} not a positive "
+                    f"multiple of {WORD}")
+            lo = dst_v[1]
+            if lo % WORD or lo + size > 0 or lo < -self.stack_limit:
+                raise VerifierError(
+                    f"pc {pc}: {helper} writes outside the stack "
+                    f"(offset {lo}, size {size})")
+            for off in range(lo, lo + size, WORD):
+                stack[off] = _SCALAR_UNKNOWN
+            self.max_stack_depth = max(self.max_stack_depth, -lo)
+        # Calling convention: R0 = result, R1-R5 clobbered.
+        regs[R0] = _SCALAR_UNKNOWN
+        for reg in range(R1, R5 + 1):
+            regs[reg] = None
+
+
+def _fold(op: Op, a: int, b: int) -> int:
+    if op in (Op.ADD_IMM, Op.ADD_REG):
+        return (a + b) & _U64
+    if op in (Op.SUB_IMM, Op.SUB_REG):
+        return (a - b) & _U64
+    if op in (Op.MUL_IMM, Op.MUL_REG):
+        return (a * b) & _U64
+    if op in (Op.DIV_IMM, Op.DIV_REG):
+        return (a // b) & _U64
+    if op in (Op.MOD_IMM, Op.MOD_REG):
+        return (a % b) & _U64
+    if op in (Op.AND_IMM, Op.AND_REG):
+        return a & b
+    if op in (Op.OR_IMM, Op.OR_REG):
+        return a | b
+    if op in (Op.XOR_IMM, Op.XOR_REG):
+        return a ^ b
+    if op is Op.LSH_IMM:
+        return (a << (b & 63)) & _U64
+    if op is Op.RSH_IMM:
+        return a >> (b & 63)
+    if op is Op.NEG:
+        return (-a) & _U64
+    raise VerifierError(f"cannot fold {op}")
+
+
+# -- entry point ------------------------------------------------------------
+
+def verify_bytecode(bytecode, hook_type: str = "kprobe", *,
+                    stack_limit: int = STACK_SIZE,
+                    max_path: int = MAX_PATH_INSTRUCTIONS,
+                    state_budget: int = DEFAULT_STATE_BUDGET,
+                    name: str = "<program>") -> VerifierReport:
+    """Statically verify *bytecode*; returns a :class:`VerifierReport`.
+
+    Raises :class:`VerifierError` with the offending pc on any violation.
+    Verification is deterministic: the same bytecode always yields the
+    same report or the same error.
+    """
+    bytecode = tuple(bytecode)
+    if not bytecode:
+        raise VerifierError(f"program {name!r}: empty program")
+    if len(bytecode) > max_path:
+        raise VerifierError(
+            f"program {name!r}: {len(bytecode)} instructions exceeds "
+            f"the {max_path} limit")
+    try:
+        _validate_insns(bytecode, hook_type)
+        block_count, back_edges = _structural_analysis(bytecode)
+        analysis = _Analysis(bytecode, hook_type, stack_limit,
+                             state_budget)
+        worst_case = analysis.run()
+    except VerifierError as exc:
+        raise VerifierError(f"program {name!r}: {exc}") from None
+    if worst_case > max_path:
+        raise VerifierError(
+            f"program {name!r}: worst-case path length {worst_case} "
+            f"exceeds the {max_path} limit")
+    if analysis.max_stack_depth > stack_limit:
+        raise VerifierError(
+            f"program {name!r}: stack {analysis.max_stack_depth}B "
+            f"exceeds {stack_limit}B")
+    loop_bounds = tuple(
+        (src, dst, analysis.back_edge_trips.get((src, dst), 0))
+        for src, dst in back_edges)
+    return VerifierReport(
+        insn_count=len(bytecode),
+        worst_case_instructions=worst_case,
+        stack_bytes=analysis.max_stack_depth,
+        block_count=block_count,
+        loop_bounds=loop_bounds,
+        helpers=tuple(sorted(analysis.helpers_used)),
+        states_explored=analysis.states_explored,
+    )

@@ -1,0 +1,383 @@
+"""Unit tests for the BPF ISA: assembler, interpreter, and verifier."""
+
+import pytest
+
+from repro.kernel.bpf_isa import (
+    AssemblerError,
+    BPFTrap,
+    CTX_FIELDS,
+    HOOK_HELPER_WHITELIST,
+    Insn,
+    Op,
+    ProgramBuilder,
+    R0,
+    R1,
+    R2,
+    R3,
+    R6,
+    R7,
+    R8,
+    R10,
+    execute,
+    hook_type_of,
+)
+from repro.kernel.verifier import (
+    VerifierError,
+    verify_bytecode,
+)
+
+
+def _assemble(body) -> tuple:
+    b = ProgramBuilder()
+    body(b)
+    return b.assemble()
+
+
+def _ret_imm(value: int) -> tuple:
+    return _assemble(lambda b: (b.mov_imm(R0, value), b.exit()))
+
+
+class TestAssembler:
+    def test_label_resolution_forward_and_back(self):
+        b = ProgramBuilder()
+        b.mov_imm(R6, 2)
+        b.label("top")
+        b.sub_imm(R6, 1)
+        b.jne_imm(R6, 0, "top")
+        b.ja("end")
+        b.mov_imm(R0, 99)  # skipped
+        b.label("end")
+        b.mov_imm(R0, 0)
+        b.exit()
+        bytecode = b.assemble()
+        # Backward jump: from pc 2 (jne) to pc 1 -> off = 1 - 2 - 1 = -2.
+        assert bytecode[2].off == -2
+        # Forward jump over one instruction -> off = +1.
+        assert bytecode[3].off == 1
+
+    def test_undefined_label_rejected(self):
+        b = ProgramBuilder()
+        b.ja("nowhere")
+        with pytest.raises(AssemblerError, match="undefined label"):
+            b.assemble()
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(AssemblerError, match="duplicate"):
+            b.label("x")
+
+    def test_unknown_helper_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError, match="unknown helper"):
+            b.call("rm_rf_slash")
+
+    def test_unknown_ctx_field_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError, match="unknown ctx field"):
+            b.ld_ctx(R2, "password")
+
+    def test_bad_register_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError, match="bad register"):
+            b.mov_imm(42, 0)
+
+
+class TestInterpreter:
+    def test_arithmetic(self):
+        bytecode = _assemble(lambda b: (
+            b.mov_imm(R2, 10),
+            b.mov_imm(R3, 3),
+            b.mov_reg(R0, R2),
+            b.mul_imm(R0, 7),      # 70
+            b.add_reg(R0, R3),     # 73
+            b.mod_imm(R0, 64),     # 9
+            b.lsh_imm(R0, 2),      # 36
+            b.exit(),
+        ))
+        assert execute(bytecode).return_value == 36
+
+    def test_u64_wraparound(self):
+        bytecode = _assemble(lambda b: (
+            b.mov_imm(R0, 0),
+            b.sub_imm(R0, 1),
+            b.exit(),
+        ))
+        assert execute(bytecode).return_value == (1 << 64) - 1
+
+    def test_bounded_loop_executes_exact_trips(self):
+        b = ProgramBuilder()
+        b.mov_imm(R7, 0)
+        b.bounded_loop(R6, 13, lambda bb: bb.add_imm(R7, 2))
+        b.mov_reg(R0, R7)
+        b.exit()
+        result = execute(b.assemble())
+        assert result.return_value == 26
+
+    def test_ctx_loads_and_stack_roundtrip(self):
+        class Ctx:
+            pid = 41
+            byte_len = 500
+
+        bytecode = _assemble(lambda b: (
+            b.ld_ctx(R2, "pid"),
+            b.stack_store(-8, R2),
+            b.ld_ctx(R3, "byte_len"),
+            b.stack_load(R0, -8),
+            b.add_reg(R0, R3),
+            b.exit(),
+        ))
+        assert execute(bytecode, Ctx()).return_value == 541
+
+    def test_perf_submit_reaches_callback(self):
+        submitted = []
+        bytecode = _assemble(lambda b: (
+            b.call("perf_submit"),
+            b.mov_imm(R0, 0),
+            b.exit(),
+        ))
+        sentinel = object()
+        result = execute(bytecode, sentinel, submit=submitted.append)
+        assert submitted == [sentinel]
+        assert result.submissions == 1
+
+    def test_helper_clobbers_r1_to_r5(self):
+        bytecode = _assemble(lambda b: (
+            b.mov_imm(R2, 7),
+            b.call("ktime_get_ns"),
+            b.mov_reg(R0, R2),  # r2 was clobbered by the call
+            b.exit(),
+        ))
+        with pytest.raises(BPFTrap, match="uninitialized"):
+            execute(bytecode)
+
+    def test_uninitialized_read_traps(self):
+        bytecode = _assemble(lambda b: (b.mov_reg(R0, R8), b.exit()))
+        with pytest.raises(BPFTrap, match="uninitialized"):
+            execute(bytecode)
+
+    def test_uninitialized_stack_read_traps(self):
+        bytecode = _assemble(lambda b: (
+            b.stack_load(R0, -16),
+            b.exit(),
+        ))
+        with pytest.raises(BPFTrap, match="uninitialized stack"):
+            execute(bytecode)
+
+    def test_division_by_zero_traps(self):
+        bytecode = _assemble(lambda b: (
+            b.mov_imm(R0, 8),
+            b.mov_imm(R2, 0),
+            b._emit(Op.DIV_REG, R0, R2),
+            b.exit(),
+        ))
+        with pytest.raises(BPFTrap, match="division by zero"):
+            execute(bytecode)
+
+    def test_step_limit_contains_runaway_program(self):
+        bytecode = (Insn(Op.JA, off=-1),)
+        with pytest.raises(BPFTrap, match="step limit"):
+            execute(bytecode, max_steps=1000)
+
+    def test_missing_ctx_fields_read_as_zero(self):
+        bytecode = _assemble(lambda b: (
+            b.ld_ctx(R0, "socket_id"),
+            b.exit(),
+        ))
+        assert execute(bytecode, object()).return_value == 0
+
+
+class TestVerifierAnalyses:
+    def test_report_shape_on_straight_line(self):
+        report = verify_bytecode(_ret_imm(7))
+        assert report.insn_count == 2
+        assert report.worst_case_instructions == 2
+        assert report.back_edge_count == 0
+        assert report.stack_bytes == 0
+
+    def test_loop_bound_is_proven_not_declared(self):
+        b = ProgramBuilder()
+        b.bounded_loop(R6, 9, lambda bb: bb.mov_imm(R7, 5))
+        b.mov_imm(R0, 0)
+        b.exit()
+        report = verify_bytecode(b.assemble())
+        assert len(report.loop_bounds) == 1
+        _src, _dst, taken = report.loop_bounds[0]
+        # 9 iterations take the back-edge 8 times.
+        assert taken == 8
+
+    def test_worst_case_covers_longer_branch(self):
+        b = ProgramBuilder()
+        b.ld_ctx(R6, "ret")
+        b.jeq_imm(R6, 0, "short")
+        b.mov_imm(R7, 1)
+        b.mov_imm(R7, 2)
+        b.mov_imm(R7, 3)
+        b.label("short")
+        b.mov_imm(R0, 0)
+        b.exit()
+        report = verify_bytecode(b.assemble())
+        # entry(1) + jump(1) + long arm(3) + epilogue(2)
+        assert report.worst_case_instructions == 7
+
+    def test_rejects_jump_out_of_range(self):
+        bytecode = (Insn(Op.JA, off=99), Insn(Op.EXIT))
+        with pytest.raises(VerifierError, match="out of range"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_fall_off_end(self):
+        bytecode = (Insn(Op.MOV_IMM, R0, imm=0),)
+        with pytest.raises(VerifierError, match="falls off the end"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_unreachable_code(self):
+        b = ProgramBuilder()
+        b.mov_imm(R0, 0)
+        b.exit()
+        b.mov_imm(R0, 1)  # dead
+        b.exit()
+        with pytest.raises(VerifierError, match="unreachable"):
+            verify_bytecode(b.assemble())
+
+    def test_rejects_exit_with_uninitialized_r0(self):
+        bytecode = (Insn(Op.EXIT),)
+        with pytest.raises(VerifierError, match="r0 is uninitialized"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_pointer_leak_through_r0(self):
+        bytecode = _assemble(lambda b: (b.mov_reg(R0, R10), b.exit()))
+        with pytest.raises(VerifierError, match="leaks a pointer"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_write_to_frame_pointer(self):
+        bytecode = (Insn(Op.MOV_IMM, R10, imm=0),
+                    Insn(Op.MOV_IMM, R0, imm=0), Insn(Op.EXIT))
+        with pytest.raises(VerifierError, match="read-only"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_ctx_load_out_of_bounds(self):
+        bytecode = (Insn(Op.LDX, R2, R1, off=4096),
+                    Insn(Op.MOV_IMM, R0, imm=0), Insn(Op.EXIT))
+        with pytest.raises(VerifierError, match="invalid offset"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_misaligned_ctx_load(self):
+        bytecode = (Insn(Op.LDX, R2, R1, off=4),
+                    Insn(Op.MOV_IMM, R0, imm=0), Insn(Op.EXIT))
+        with pytest.raises(VerifierError, match="invalid offset"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_store_through_scalar(self):
+        bytecode = _assemble(lambda b: (
+            b.mov_imm(R2, 1000),
+            b.stx(R2, -8, R2),
+            b.mov_imm(R0, 0),
+            b.exit(),
+        ))
+        with pytest.raises(VerifierError, match="non-stack"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_pointer_arithmetic_with_unknown_scalar(self):
+        bytecode = _assemble(lambda b: (
+            b.ld_ctx(R2, "byte_len"),
+            b.mov_reg(R3, R10),
+            b.add_reg(R3, R2),  # fp + unknown: unprovable bounds
+            b.stx(R3, -8, R2),
+            b.mov_imm(R0, 0),
+            b.exit(),
+        ))
+        with pytest.raises(VerifierError, match="unbounded"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_division_by_unproven_divisor(self):
+        bytecode = _assemble(lambda b: (
+            b.ld_ctx(R2, "byte_len"),
+            b.mov_imm(R0, 100),
+            b._emit(Op.DIV_REG, R0, R2),
+            b.exit(),
+        ))
+        with pytest.raises(VerifierError, match="nonzero"):
+            verify_bytecode(bytecode)
+
+    def test_rejects_read_of_uninitialized_stack_slot(self):
+        bytecode = _assemble(lambda b: (
+            b.stack_load(R0, -24),
+            b.exit(),
+        ))
+        with pytest.raises(VerifierError, match="uninitialized stack"):
+            verify_bytecode(bytecode)
+
+    def test_branch_refinement_tracks_equality(self):
+        # After `jne r6, 0, out` falls through, r6 is known to be 0 and
+        # the division below is provably by 1 — acceptance depends on
+        # the verifier refining branch facts.
+        b = ProgramBuilder()
+        b.ld_ctx(R6, "ret")
+        b.jne_imm(R6, 0, "out")
+        b.add_imm(R6, 1)
+        b.mov_imm(R0, 10)
+        b._emit(Op.DIV_REG, R0, R6)
+        b.exit()
+        b.label("out")
+        b.mov_imm(R0, 0)
+        b.exit()
+        verify_bytecode(b.assemble())
+
+    def test_verification_is_deterministic(self):
+        b = ProgramBuilder()
+        b.ld_ctx(R6, "byte_len")
+        b.bounded_loop(R7, 17, lambda bb: bb.rsh_imm(R6, 1))
+        b.mov_reg(R0, R6)
+        b.exit()
+        bytecode = b.assemble()
+        reports = {verify_bytecode(bytecode) for _ in range(5)}
+        assert len(reports) == 1
+
+
+class TestHelperWhitelist:
+    def test_hook_type_classification(self):
+        assert hook_type_of("sys_enter_read") == "tracepoint"
+        assert hook_type_of("sys_exit_sendmsg") == "tracepoint"
+        assert hook_type_of("uprobe:nginx:ssl_write") == "uprobe"
+        assert hook_type_of("uretprobe:nginx:ssl_write") == "uretprobe"
+        assert hook_type_of("coroutine_create") == "kprobe"
+        assert hook_type_of("socket_close") == "kprobe"
+
+    def test_whitelists_are_disjoint_on_probe_reads(self):
+        assert "probe_read_user" not in HOOK_HELPER_WHITELIST["kprobe"]
+        assert "probe_read_kernel" not in HOOK_HELPER_WHITELIST["uprobe"]
+
+    def test_kprobe_cannot_probe_read_user(self):
+        bytecode = _assemble(lambda b: (
+            b.mov_reg(R1, R10),
+            b.add_imm(R1, -8),
+            b.mov_imm(R2, 8),
+            b.call("probe_read_user"),
+            b.mov_imm(R0, 0),
+            b.exit(),
+        ))
+        with pytest.raises(VerifierError, match="not allowed"):
+            verify_bytecode(bytecode, "kprobe")
+        verify_bytecode(bytecode, "uprobe")
+
+    def test_perf_submit_requires_ctx_pointer(self):
+        bytecode = _assemble(lambda b: (
+            b.mov_imm(R1, 0),
+            b.call("perf_submit"),
+            b.mov_imm(R0, 0),
+            b.exit(),
+        ))
+        with pytest.raises(VerifierError, match="ctx pointer"):
+            verify_bytecode(bytecode)
+
+    def test_unknown_hook_type_rejected(self):
+        with pytest.raises(VerifierError, match="unknown hook type"):
+            verify_bytecode(_ret_imm(0), "xdp")
+
+
+class TestCtxLayout:
+    def test_fields_are_word_aligned_and_in_bounds(self):
+        from repro.kernel.bpf_isa import CTX_SIZE, WORD
+        for name, off in CTX_FIELDS.items():
+            assert off % WORD == 0, name
+            assert 0 <= off <= CTX_SIZE - WORD, name

@@ -133,3 +133,62 @@ class TestAgentStats:
     def test_stats_are_per_agent(self, traced_world):
         _server, agents, _trace, _report = traced_world
         assert agents[0].stats is not agents[1].stats
+
+
+class TestHookStats:
+    """Kernel-side observability: hook_stats() exposes per-program fault
+    counters and what the verifier did (faults are contained, not lost)."""
+
+    @pytest.fixture()
+    def fresh_agent(self):
+        sim = Simulator(seed=7)
+        builder = ClusterBuilder(node_count=1)
+        builder.add_pod(0, "p")
+        cluster = builder.build()
+        Network(sim, cluster)
+        node = cluster.nodes[0]
+        agent = DeepFlowServer().new_agent(node.kernel, node=node)
+        agent.deploy()
+        return node, agent
+
+    def test_every_deployed_program_is_verified(self, fresh_agent):
+        _node, agent = fresh_agent
+        stats = agent.hook_stats()
+        assert stats["programs"]
+        assert all(p["verified"] for p in stats["programs"])
+        assert stats["verifier_rejections"] == 0
+        assert stats["runtime_faults"] == 0
+        # Instruction counts are verifier-derived worst-case path
+        # lengths, hitting the configured Fig 13 budgets exactly.
+        budgets = {p["instructions"] for p in stats["programs"]}
+        config = agent.config
+        assert (config.trace_instructions
+                + config.parser_instructions) in budgets
+
+    def test_runtime_faults_surface_per_program(self, fresh_agent):
+        node, agent = fresh_agent
+        # A context without the expected fields crashes the handler;
+        # containment turns that into a counted per-program fault.
+        node.kernel.hooks.fire("sys_enter_read", object())
+        stats = agent.hook_stats()
+        faulted = [p for p in stats["programs"] if p["runtime_faults"]]
+        assert faulted
+        assert stats["runtime_faults"] == sum(
+            p["runtime_faults"] for p in stats["programs"])
+        assert stats["runtime_faults"] > 0
+
+    def test_verifier_rejections_counted(self, fresh_agent):
+        from repro.kernel.bpf_isa import ProgramBuilder, R0
+        from repro.kernel.ebpf import BPFProgram, VerifierError
+
+        node, agent = fresh_agent
+        b = ProgramBuilder()
+        b.label("spin")
+        b.ja("spin")
+        b.mov_imm(R0, 0)
+        b.exit()
+        bad = BPFProgram("spin", lambda ctx: None, bytecode=b.assemble())
+        with pytest.raises(VerifierError):
+            node.kernel.hooks.attach("sys_enter_read", bad)
+        assert agent.hook_stats()["verifier_rejections"] == 1
+        assert bad not in node.kernel.hooks._hooks.get("sys_enter_read", [])

@@ -9,10 +9,17 @@ from repro.kernel import (
     EGRESS_ABIS,
     INGRESS_ABIS,
     KernelError,
+    ProgramBuilder,
     VerifierError,
+    verify_bytecode,
     verify_program,
 )
-from repro.kernel.ebpf import PerfBuffer
+from repro.kernel.bpf_isa import R0, R1, R2, R6, R7, R10
+from repro.kernel.ebpf import (
+    EMPTY_PROGRAM_LATENCY_NS,
+    PER_INSTRUCTION_LATENCY_NS,
+    PerfBuffer,
+)
 from repro.kernel.syscalls import abi_direction
 
 
@@ -68,14 +75,46 @@ class TestTable3ABIs:
             abi_direction("ioctl")
 
 
+def _unbounded_loop_bytecode():
+    """A back-edge guarded by a never-changing unknown scalar — no trip
+    bound is provable, and no self-declared flag is involved."""
+    b = ProgramBuilder()
+    b.ld_ctx(R6, "byte_len")
+    b.label("spin")
+    b.jne_imm(R6, 0, "spin")
+    b.mov_imm(R0, 0)
+    b.exit()
+    return b.assemble()
+
+
 class TestVerifier:
     def test_accepts_bounded_program(self):
         verify_program(BPFProgram("ok", lambda ctx: None, instructions=100))
 
+    def test_accepts_bounded_bytecode_loop(self):
+        b = ProgramBuilder()
+        b.bounded_loop(R6, 10, lambda bb: bb.mov_imm(R7, 1))
+        b.mov_imm(R0, 0)
+        b.exit()
+        program = BPFProgram("loop10", lambda ctx: None,
+                             bytecode=b.assemble())
+        verify_program(program)
+        assert program.verified is not None
+        assert program.verified.back_edge_count == 1
+
     def test_rejects_unbounded_loop(self):
         program = BPFProgram("loop", lambda ctx: None,
-                             has_unbounded_loop=True)
+                             bytecode=_unbounded_loop_bytecode())
         with pytest.raises(VerifierError, match="back-edge"):
+            verify_program(program)
+
+    def test_rejects_uninitialized_register_read(self):
+        b = ProgramBuilder()
+        b.mov_reg(R0, R7)  # r7 never written
+        b.exit()
+        program = BPFProgram("uninit", lambda ctx: None,
+                             bytecode=b.assemble())
+        with pytest.raises(VerifierError, match="uninitialized"):
             verify_program(program)
 
     def test_rejects_oversized_program(self):
@@ -84,15 +123,106 @@ class TestVerifier:
         with pytest.raises(VerifierError, match="instructions"):
             verify_program(program)
 
+    def test_rejects_oversized_bytecode_path(self):
+        b = ProgramBuilder()
+        b.bounded_loop(R6, 2000, lambda bb: bb.mov_imm(R7, 1))
+        b.mov_imm(R0, 0)
+        b.exit()
+        bytecode = b.assemble()
+        # Bounded, but its worst-case path exceeds the instruction limit.
+        with pytest.raises(VerifierError, match="worst-case path"):
+            verify_bytecode(bytecode, max_path=1000)
+        # And with a small exploration budget it is "too complex" before
+        # the bound is even proven — the kernel verifier's behaviour.
+        with pytest.raises(VerifierError, match="too complex"):
+            verify_bytecode(bytecode, state_budget=500)
+
     def test_rejects_deep_stack(self):
         program = BPFProgram("stack", lambda ctx: None, stack_bytes=4096)
         with pytest.raises(VerifierError, match="stack"):
             verify_program(program)
 
-    def test_attach_runs_verifier(self, kernels):
-        bad = BPFProgram("bad", lambda ctx: None, has_unbounded_loop=True)
+    def test_rejects_deep_bytecode_stack(self):
+        b = ProgramBuilder()
+        b.mov_imm(R2, 7)
+        b.stack_store(-520, R2)  # below the 512-byte frame
+        b.mov_imm(R0, 0)
+        b.exit()
+        program = BPFProgram("deep", lambda ctx: None,
+                             bytecode=b.assemble())
+        with pytest.raises(VerifierError, match="stack"):
+            verify_program(program)
+
+    def test_helper_whitelist_per_hook_type(self, kernels):
+        b = ProgramBuilder()
+        b.mov_reg(R1, R10)
+        b.add_imm(R1, -8)
+        b.mov_imm(R2, 8)
+        b.call("probe_read_kernel")  # kernel reads from a uprobe: no
+        b.mov_imm(R0, 0)
+        b.exit()
+        program = BPFProgram("ssl_sniff", lambda ctx: None,
+                             bytecode=b.assemble())
+        with pytest.raises(VerifierError, match="not allowed"):
+            kernels[0].hooks.attach("uprobe:nginx:ssl_write", program)
+        # The same bytecode is legal on a tracepoint.
+        fresh = BPFProgram("ssl_sniff", lambda ctx: None,
+                           bytecode=b.assemble())
+        kernels[0].hooks.attach("sys_enter_read", fresh)
+
+    def test_attach_runs_verifier_and_counts_rejections(self, kernels):
+        bad = BPFProgram("bad", lambda ctx: None,
+                         bytecode=_unbounded_loop_bytecode())
+        assert kernels[0].hooks.verifier_rejections == 0
         with pytest.raises(VerifierError):
             kernels[0].hooks.attach("sys_enter_read", bad)
+        assert kernels[0].hooks.verifier_rejections == 1
+        assert not kernels[0].hooks.has_hook("sys_enter_read")
+
+    def test_verified_count_drives_latency(self):
+        b = ProgramBuilder()
+        b.bounded_loop(R6, 50, lambda bb: bb.mov_imm(R7, 1))
+        b.mov_imm(R0, 0)
+        b.exit()
+        program = BPFProgram("timed", lambda ctx: None,
+                             instructions=99999,  # declared lie
+                             bytecode=b.assemble())
+        verify_program(program)
+        worst = program.verified.worst_case_instructions
+        assert worst != 99999
+        assert program.effective_instructions == worst
+        assert program.latency_ns == pytest.approx(
+            EMPTY_PROGRAM_LATENCY_NS
+            + worst * PER_INSTRUCTION_LATENCY_NS)
+
+
+class TestHookRegistryDetach:
+    def test_detach_prunes_empty_attach_points(self, kernels):
+        registry = kernels[0].hooks
+        before = registry.attach_points()
+        program = BPFProgram("p", lambda ctx: None, instructions=10)
+        registry.attach("sys_enter_read", program)
+        assert "sys_enter_read" in registry.attach_points()
+        registry.detach("sys_enter_read", program)
+        # Regression: the empty list used to linger, overcounting
+        # attach points for any iteration over the hook table.
+        assert registry.attach_points() == before
+        assert not registry.has_hook("sys_enter_read")
+
+    def test_detach_keeps_point_with_remaining_programs(self, kernels):
+        registry = kernels[0].hooks
+        first = BPFProgram("a", lambda ctx: None, instructions=10)
+        second = BPFProgram("b", lambda ctx: None, instructions=10)
+        registry.attach("sys_enter_read", first)
+        registry.attach("sys_enter_read", second)
+        registry.detach("sys_enter_read", first)
+        assert registry.attached("sys_enter_read") == [second]
+        registry.detach("sys_enter_read", second)
+        assert "sys_enter_read" not in registry.attach_points()
+
+    def test_detach_unknown_hook_is_noop(self, kernels):
+        program = BPFProgram("p", lambda ctx: None, instructions=10)
+        kernels[0].hooks.detach("sys_enter_never_attached", program)
 
     def test_runtime_fault_contained(self, kernels, sim):
         def crashes(ctx):

@@ -1,0 +1,240 @@
+"""Property-based tests for the BPF verifier (hypothesis).
+
+Three safety properties, over randomly generated programs:
+
+* a program with a planted back-edge that has no provable trip bound is
+  **always rejected**, whatever surrounds it;
+* a program the verifier **accepts never traps** in the interpreter, and
+  never executes more instructions than the verified worst case — for
+  any context values;
+* verification is **deterministic**: same bytecode, same verdict.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.bpf_isa import (
+    CTX_FIELDS,
+    ProgramBuilder,
+    R0,
+    R1,
+    R5,
+    R6,
+    R7,
+    R8,
+    execute,
+)
+from repro.kernel.verifier import VerifierError, verify_bytecode
+
+SCRATCH = (R7, R8)
+ALU_IMM = ("add_imm", "sub_imm", "mul_imm", "and_imm", "or_imm",
+           "lsh_imm", "rsh_imm")
+ALU_REG = ("add_reg", "sub_reg", "xor_reg")
+FIELDS = tuple(sorted(CTX_FIELDS))
+
+# -- random-program generation ----------------------------------------------
+# Ops are abstract descriptors; the builder below lowers them to valid
+# bytecode, inserting initializing moves where an operand would otherwise
+# be uninitialized (so generated programs are verifiable by construction).
+
+_reg = st.sampled_from(SCRATCH)
+_imm = st.integers(min_value=0, max_value=1 << 20)
+
+_simple_op = st.one_of(
+    st.tuples(st.just("const"), _reg, _imm),
+    st.tuples(st.just("ldctx"), _reg, st.sampled_from(FIELDS)),
+    st.tuples(st.just("alu_imm"), st.sampled_from(ALU_IMM), _reg,
+              st.integers(min_value=0, max_value=63)),
+    st.tuples(st.just("alu_reg"), st.sampled_from(ALU_REG), _reg, _reg),
+)
+
+_op = st.one_of(
+    _simple_op,
+    st.tuples(st.just("store"), st.integers(0, 7), _reg),
+    st.tuples(st.just("load"), _reg, st.integers(0, 7)),
+    st.tuples(st.just("loop"), st.integers(1, 12),
+              st.lists(_simple_op, min_size=1, max_size=4)),
+    st.tuples(st.just("branch"), _reg, _imm,
+              st.lists(_simple_op, min_size=1, max_size=4)),
+    st.tuples(st.just("ktime")),
+    st.tuples(st.just("submit")),
+)
+
+_program_ops = st.lists(_op, min_size=0, max_size=12)
+
+
+class _Lowering:
+    """Lower op descriptors to bytecode, tracking initialization."""
+
+    def __init__(self) -> None:
+        self.b = ProgramBuilder()
+        self.b.mov_reg(R6, R1)  # keep ctx across helper calls
+        self.inited: set[int] = set()
+        self.slots: set[int] = set()
+        self.labels = 0
+
+    def _need(self, reg: int) -> None:
+        if reg not in self.inited:
+            self.b.mov_imm(reg, 1)
+            self.inited.add(reg)
+
+    def _lower_simple(self, op) -> None:
+        kind = op[0]
+        if kind == "const":
+            self.b.mov_imm(op[1], op[2])
+            self.inited.add(op[1])
+        elif kind == "ldctx":
+            self.b.ld_ctx(op[1], op[2], ctx_reg=R6)
+            self.inited.add(op[1])
+        elif kind == "alu_imm":
+            _, name, reg, imm = op
+            self._need(reg)
+            getattr(self.b, name)(reg, imm)
+        elif kind == "alu_reg":
+            _, name, dst, src = op
+            self._need(dst)
+            self._need(src)
+            getattr(self.b, name)(dst, src)
+
+    def lower(self, op) -> None:
+        kind = op[0]
+        if kind in ("const", "ldctx", "alu_imm", "alu_reg"):
+            self._lower_simple(op)
+        elif kind == "store":
+            _, slot, reg = op
+            self._need(reg)
+            self.b.stack_store(-8 * (slot + 1), reg)
+            self.slots.add(slot)
+        elif kind == "load":
+            _, reg, slot = op
+            if slot not in self.slots:
+                self._need(reg)
+                self.b.stack_store(-8 * (slot + 1), reg)
+                self.slots.add(slot)
+            self.b.stack_load(reg, -8 * (slot + 1))
+            self.inited.add(reg)
+        elif kind == "loop":
+            _, trips, body = op
+            self.b.bounded_loop(
+                R5, trips,
+                lambda bb: [self._lower_simple(o) for o in body])
+        elif kind == "branch":
+            _, reg, imm, body = op
+            self._need(reg)
+            label = f"skip{self.labels}"
+            self.labels += 1
+            before = set(self.inited)
+            self.b.jeq_imm(reg, imm, label)
+            for o in body:
+                self._lower_simple(o)
+            self.b.label(label)
+            # Registers first written inside the branch are only
+            # conditionally initialized — forget them at the join.
+            self.inited = before
+        elif kind == "ktime":
+            self.b.call("ktime_get_ns")
+            self.inited.add(R0)
+            self.inited.discard(R5)
+        elif kind == "submit":
+            self.b.mov_reg(R1, R6)
+            self.b.call("perf_submit")
+            self.inited.add(R0)
+            self.inited.discard(R5)
+
+
+def _lower_program(ops) -> tuple:
+    low = _Lowering()
+    for op in ops:
+        low.lower(op)
+    low.b.mov_imm(R0, 0)
+    low.b.exit()
+    return low.b.assemble()
+
+
+class _Ctx:
+    def __init__(self, values: dict):
+        for name, value in values.items():
+            setattr(self, name, value)
+
+
+_ctx_values = st.fixed_dictionaries({
+    name: st.integers(min_value=0, max_value=(1 << 32) - 1)
+    for name in ("pid", "tid", "coroutine_id", "socket_id", "tcp_seq",
+                 "byte_len", "ret")
+})
+
+
+# -- property 1: verified programs never trap -------------------------------
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_program_ops, ctx_values=_ctx_values)
+def test_verified_programs_never_trap(ops, ctx_values):
+    bytecode = _lower_program(ops)
+    report = verify_bytecode(bytecode)  # must accept by construction
+    result = execute(bytecode, _Ctx(ctx_values))
+    assert result.steps <= report.worst_case_instructions
+    assert result.return_value == 0
+
+
+# -- property 2: planted unbounded back-edges are always rejected -----------
+
+_spin_kinds = st.sampled_from(["ja_self", "guard_unknown", "diverging"])
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_program_ops, kind=_spin_kinds,
+       field=st.sampled_from(FIELDS))
+def test_planted_unbounded_backedge_always_rejected(ops, kind, field):
+    low = _Lowering()
+    for op in ops:
+        low.lower(op)
+    b = low.b
+    if kind == "ja_self":
+        b.label("spin")
+        b.ja("spin")
+    elif kind == "guard_unknown":
+        # Guard register comes from ctx and is never written in the
+        # loop: the abstract state recurs, no trip bound exists.
+        b.ld_ctx(R7, field, ctx_reg=R6)
+        b.label("spin")
+        b.mov_imm(R8, 3)
+        b.jne_imm(R7, 0, "spin")
+    else:  # diverging: state changes forever, exhausts the budget
+        b.ld_ctx(R7, field, ctx_reg=R6)
+        b.mov_imm(R8, 0)
+        b.label("spin")
+        b.add_imm(R8, 1)
+        b.jne_imm(R7, 0, "spin")
+    b.mov_imm(R0, 0)
+    b.exit()
+    with pytest.raises(VerifierError):
+        verify_bytecode(b.assemble(), state_budget=20_000)
+
+
+# -- property 3: verification is deterministic ------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_program_ops)
+def test_verification_deterministic_on_accepted(ops):
+    bytecode = _lower_program(ops)
+    assert verify_bytecode(bytecode) == verify_bytecode(bytecode)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=_program_ops, field=st.sampled_from(FIELDS))
+def test_verification_deterministic_on_rejected(ops, field):
+    low = _Lowering()
+    for op in ops:
+        low.lower(op)
+    low.b.ld_ctx(R7, field, ctx_reg=R6)
+    low.b.label("spin")
+    low.b.jne_imm(R7, 0, "spin")
+    low.b.mov_imm(R0, 0)
+    low.b.exit()
+    bytecode = low.b.assemble()
+    errors = set()
+    for _ in range(3):
+        with pytest.raises(VerifierError) as excinfo:
+            verify_bytecode(bytecode, state_budget=20_000)
+        errors.add(str(excinfo.value))
+    assert len(errors) == 1
