@@ -131,7 +131,9 @@ def test_ablation_x_request_id_rule(benchmark):
 def test_ablation_iteration_budget(benchmark, iterations,
                                    expect_complete):
     """A deep chain needs several Algorithm 1 iterations; the default
-    budget is ample, a budget of 1 truncates."""
+    budget is ample, a budget of 1 truncates.  Only the iterative
+    reference has an iteration budget — the trace-graph index returns
+    the full component regardless, so this ablation pins both facts."""
     sim = Simulator(seed=303)
     app = bookinfo.build(sim)
     server = DeepFlowServer(iterations=iterations)
@@ -145,12 +147,15 @@ def test_ablation_iteration_budget(benchmark, iterations,
     flush_all(sim, agents)
     root = next(span for span in server.store.all_spans()
                 if span.process_name == "wrk2")
-    trace = benchmark.pedantic(lambda: server.trace(root.span_id),
-                               rounds=1, iterations=1)
+    trace = benchmark.pedantic(
+        lambda: server.trace(root.span_id, use_index=False),
+        rounds=1, iterations=1)
     if expect_complete:
         assert len(trace) == 18
     else:
         assert len(trace) < 18
+    # The fast path has no iteration budget to truncate.
+    assert len(server.trace(root.span_id)) == 18
 
 
 def test_ablation_time_window(benchmark):

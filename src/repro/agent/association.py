@@ -95,6 +95,23 @@ class AssociationTracker:
 
     # -- systrace assignment ---------------------------------------------
 
+    def observe(self, pid: int, tid: int, coroutine_id: Optional[int],
+                msg_type: MessageType, direction: Direction
+                ) -> tuple[tuple, int, int]:
+        """One observed message: resolve the pseudo-thread, assign the
+        systrace, and report the generation, in a single state lookup.
+
+        Returns ``(pthread_key, systrace_id, generation)`` — the fused
+        form of :meth:`pthread_key` + :meth:`assign_systrace` +
+        :meth:`generation` the agent's hot path calls per message.
+        """
+        pthread = self.pthread_key(pid, tid, coroutine_id)
+        state = self._states.get(pthread)
+        if state is None:
+            state = self._states[pthread] = _PthreadState()
+        systrace = self._advance(state, msg_type, direction)
+        return pthread, systrace, state.generation
+
     def assign_systrace(self, pthread_key: tuple, msg_type: MessageType,
                         direction: Direction) -> int:
         """Assign (and update) the systrace id for one observed message.
@@ -110,6 +127,11 @@ class AssociationTracker:
         * responses        → always inherited.
         """
         state = self._states.setdefault(pthread_key, _PthreadState())
+        return self._advance(state, msg_type, direction)
+
+    def _advance(self, state: _PthreadState, msg_type: MessageType,
+                 direction: Direction) -> int:
+        """Run the Figure 7 state machine for one message."""
         is_request = msg_type is MessageType.REQUEST
         fresh = False
         if is_request and direction is Direction.INGRESS:

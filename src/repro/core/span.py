@@ -39,9 +39,15 @@ class SpanSide(enum.Enum):
     APP = "app"      # third-party application span
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
-    """One request/response session observed at one vantage point."""
+    """One request/response session observed at one vantage point.
+
+    Slotted: the agent constructs one of these per session on its hot
+    path and the assembler's rule table reads fields millions of times
+    at scale, so attribute access goes through slot descriptors rather
+    than a per-instance dict.
+    """
 
     span_id: int
     kind: SpanKind

@@ -250,6 +250,12 @@ class PerfBuffer:
         """User side: take everything currently buffered."""
         return self._queue.drain()
 
+    def drain_into(self, out: list) -> int:
+        """User side: append everything buffered to *out*; returns the
+        count.  Lets the agent's poll loop reuse one event list instead
+        of allocating per drain cycle."""
+        return self._queue.drain_into(out)
+
     def __len__(self) -> int:
         return len(self._queue)
 

@@ -37,10 +37,19 @@ class FiveTuple:
                          self.src_port, self.protocol)
 
     def canonical(self) -> tuple:
-        """An endpoint-order-independent key identifying the connection."""
-        a = (self.src_ip, self.src_port)
-        b = (self.dst_ip, self.dst_port)
-        return (min(a, b), max(a, b), self.protocol)
+        """An endpoint-order-independent key identifying the connection.
+
+        Memoized on the (frozen, hence immutable) instance: the span
+        builder and the flow-metrics index both call this per span, and
+        the tuple never changes.
+        """
+        cached = self.__dict__.get("_canonical")
+        if cached is None:
+            a = (self.src_ip, self.src_port)
+            b = (self.dst_ip, self.dst_port)
+            cached = (min(a, b), max(a, b), self.protocol)
+            object.__setattr__(self, "_canonical", cached)
+        return cached
 
     def __str__(self) -> str:
         return (f"{self.src_ip}:{self.src_port}->"

@@ -46,8 +46,25 @@ DEFAULT_SPECS: tuple[ProtocolSpec, ...] = (
 )
 
 
+#: Bound on the memoized parse table; on overflow the table is cleared
+#: (cheap, and steady-state workloads re-warm it within one batch).
+PARSE_CACHE_MAX = 4096
+
+#: Distinguishes "cached None" (a continuation) from "not cached".
+_MISS = object()
+
+
 class ProtocolInferenceEngine:
-    """Sticky per-connection protocol classification + parsing."""
+    """Sticky per-connection protocol classification + parsing.
+
+    Parsing is memoized: ``ProtocolSpec.parse`` is a pure function of the
+    payload bytes, and production traffic repeats the same small message
+    set (health checks, identical requests), so a bounded
+    ``(protocol, payload) → ParsedMessage`` table turns the steady-state
+    parse into one dict hit.  Cached :class:`ParsedMessage` objects are
+    shared between hits and must be treated as immutable — nothing in the
+    pipeline mutates a parsed message after construction.
+    """
 
     def __init__(self, user_specs: Optional[Iterable[ProtocolSpec]] = None,
                  specs: Optional[Iterable[ProtocolSpec]] = None):
@@ -55,7 +72,9 @@ class ProtocolInferenceEngine:
         self._specs: tuple[ProtocolSpec, ...] = (
             tuple(user_specs or ()) + base)
         self._by_connection: dict[int, ProtocolSpec] = {}
+        self._parse_cache: dict[tuple[str, bytes], object] = {}
         self.inference_attempts = 0
+        self.parse_cache_hits = 0
 
     def spec_for(self, socket_id: int) -> Optional[ProtocolSpec]:
         """The spec previously inferred for this connection, if any."""
@@ -79,10 +98,21 @@ class ProtocolInferenceEngine:
         """Classify (if needed) then parse; None for continuations."""
         if not payload:
             return None
-        spec = self.classify(socket_id, payload)
+        spec = self._by_connection.get(socket_id)
         if spec is None:
-            return None
-        return spec.parse(payload)
+            spec = self.classify(socket_id, payload)
+            if spec is None:
+                return None
+        cache_key = (spec.name, payload)
+        parsed = self._parse_cache.get(cache_key, _MISS)
+        if parsed is not _MISS:
+            self.parse_cache_hits += 1
+            return parsed
+        parsed = spec.parse(payload)
+        if len(self._parse_cache) >= PARSE_CACHE_MAX:
+            self._parse_cache.clear()
+        self._parse_cache[cache_key] = parsed
+        return parsed
 
     def forget(self, socket_id: int) -> None:
         """Drop the classification (connection closed)."""

@@ -33,43 +33,84 @@ ENCLOSURE_SLACK = 1e-6
 
 
 class TraceAssembler:
-    """Assembles traces from the span store on demand."""
+    """Assembles traces from the span store on demand.
+
+    Phase 1 has two interchangeable implementations:
+
+    * the **fast path** (``use_index=True``, the default) reads the trace
+      component straight out of the store's incremental union-find — a
+      near-O(α) lookup plus the component read-out;
+    * the **reference path** (``use_index=False``) runs the paper's
+      iterative search, kept both for fidelity (it *is* Algorithm 1) and
+      as the oracle the property tests compare the index against.
+
+    Both compute the same fixed point: "all spans reachable from the
+    start span through shared association keys" is a connected component
+    of the association graph, which is exactly what the union-find
+    maintains incrementally.
+    """
 
     def __init__(self, store: SpanStore,
                  iterations: int = DEFAULT_ITERATIONS,
                  enable_queue_relay: bool = True,
-                 enable_x_request_id: bool = True):
+                 enable_x_request_id: bool = True,
+                 use_index: bool = True):
         self.store = store
         self.iterations = iterations
         #: Ablation switches (benchmarks/test_ablations.py).
         self.enable_queue_relay = enable_queue_relay
         self.enable_x_request_id = enable_x_request_id
+        #: Fast path default; per-call override via collect/assemble.
+        self.use_index = use_index
         self.last_iteration_count = 0
 
-    # -- phase 1: iterative span search ---------------------------------
+    # -- phase 1: span search --------------------------------------------
 
-    def collect(self, start_span_id: int) -> list[Span]:
-        """Lines 1–16 of Algorithm 1."""
-        start = self.store.get(start_span_id)
+    def collect(self, start_span_id: int,
+                use_index: Optional[bool] = None) -> list[Span]:
+        """The span set of the trace containing *start_span_id*."""
+        if use_index is None:
+            use_index = self.use_index
+        if use_index:
+            spans = self.store.component_spans(start_span_id)
+            # The component is the search's fixed point: one "iteration".
+            self.last_iteration_count = 1
+            return spans
+        return self.collect_iterative(start_span_id)
+
+    def collect_iterative(self, start_span_id: int) -> list[Span]:
+        """Lines 1–16 of Algorithm 1 (the reference implementation).
+
+        Each round absorbs only the spans discovered in the previous
+        round into a persistent filter, and the store is only asked about
+        keys it has not answered yet — O(spans) absorbed overall instead
+        of O(spans × iterations), without changing the computed set.
+        """
+        store = self.store
+        start = store.get(start_span_id)
         if start is None:
             raise KeyError(f"unknown span id {start_span_id}")
+        assoc = AssociationFilter()
         span_ids: set[int] = {start_span_id}
+        frontier: list[Span] = [start]
         for iteration in range(self.iterations):
             self.last_iteration_count = iteration + 1
-            assoc = AssociationFilter()
-            for span_id in span_ids:
-                assoc.absorb(self.store.get(span_id))
-            found = self.store.search(assoc)
-            if found <= span_ids:
+            for span in frontier:
+                assoc.absorb(span)
+            found = store.search_new(assoc)
+            found -= span_ids
+            if not found:
                 break
             span_ids |= found
-        return [self.store.get(span_id) for span_id in span_ids]
+            frontier = [store.get(span_id) for span_id in found]
+        return [store.get(span_id) for span_id in span_ids]
 
     # -- phase 2: parent assignment ----------------------------------------
 
-    def assemble(self, start_span_id: int) -> Trace:
+    def assemble(self, start_span_id: int,
+                 use_index: Optional[bool] = None) -> Trace:
         """Full Algorithm 1: collect, set parents, sort."""
-        spans = self.collect(start_span_id)
+        spans = self.collect(start_span_id, use_index=use_index)
         assign_parents(spans,
                        enable_queue_relay=self.enable_queue_relay,
                        enable_x_request_id=self.enable_x_request_id)
@@ -78,15 +119,51 @@ class TraceAssembler:
 
 def assign_parents(spans: list[Span], *, enable_queue_relay: bool = True,
                    enable_x_request_id: bool = True) -> None:
-    """Apply the parent-rule table to a span set, in priority order."""
+    """Apply the parent-rule table to a span set, in priority order.
+
+    Every rule that links across association axes guards against
+    introducing a cycle by walking the candidate parent's ancestor chain
+    (:func:`_creates_cycle`): the chain rules may already have parented
+    the candidate — possibly through intermediate network spans — under
+    the very span being linked.  Spans are processed in canonical
+    ``(start_time, span_id)`` order inside each phase so the outcome is
+    independent of input order.
+    """
     for span in spans:
         span.parent_id = None
+    by_id = {span.span_id: span for span in spans}
+    ordered = sorted(spans, key=lambda span: (span.start_time,
+                                              span.span_id))
     _chain_message_groups(spans)
-    _apply_app_rules(spans)
-    _apply_intra_component_rules(spans,
+    _apply_app_rules(ordered, by_id)
+    _apply_intra_component_rules(ordered, by_id,
                                  enable_x_request_id=enable_x_request_id)
     if enable_queue_relay:
-        _apply_queue_relay_rules(spans)
+        _apply_queue_relay_rules(ordered, by_id)
+
+
+def _creates_cycle(span: Span, parent: Span,
+                   by_id: dict[int, Span]) -> bool:
+    """Whether setting ``span.parent_id = parent.span_id`` would close a
+    cycle, i.e. *span* is already an ancestor of *parent*.
+
+    The predecessor guard (``parent.parent_id != span.span_id``) only
+    caught two-cycles; the chain rules can put the candidate parent
+    under *span* through intermediate network spans, closing longer
+    cycles, so the whole ancestor chain is walked.
+    """
+    target = span.span_id
+    seen: set[int] = set()
+    current: Optional[Span] = parent
+    while current is not None:
+        if current.span_id == target:
+            return True
+        if current.span_id in seen:
+            return False  # pre-existing cycle elsewhere; don't join it
+        seen.add(current.span_id)
+        parent_id = current.parent_id
+        current = by_id.get(parent_id) if parent_id is not None else None
+    return False
 
 
 def _message_groups(spans: list[Span]) -> dict[tuple, list[Span]]:
@@ -145,7 +222,7 @@ def _pick(members: list[Span], side: SpanSide) -> Optional[Span]:
     return min(candidates, key=lambda span: (span.start_time, span.span_id))
 
 
-def _apply_app_rules(spans: list[Span]) -> None:
+def _apply_app_rules(spans: list[Span], by_id: dict[int, Span]) -> None:
     """Rules 5–7: third-party (OpenTelemetry-style) span integration.
 
       R5  app span ← app span named by its explicit parent span id
@@ -164,7 +241,8 @@ def _apply_app_rules(spans: list[Span]) -> None:
             continue
         if span.otel_parent_span_id:
             parent = by_otel_id.get(span.otel_parent_span_id)
-            if parent is not None:
+            if parent is not None and parent is not span \
+                    and not _creates_cycle(span, parent, by_id):
                 span.parent_id = parent.span_id
                 continue
         enclosing = _tightest_enclosing(
@@ -174,7 +252,8 @@ def _apply_app_rules(spans: list[Span]) -> None:
                                                       SpanKind.UPROBE)
                                and candidate.host == span.host
                                and candidate.pid == span.pid))
-        if enclosing is not None:
+        if enclosing is not None \
+                and not _creates_cycle(span, enclosing, by_id):
             span.parent_id = enclosing.span_id
     for span in spans:
         if (span.parent_id is not None or span.side is not SpanSide.CLIENT
@@ -184,11 +263,13 @@ def _apply_app_rules(spans: list[Span]) -> None:
             span, app_spans,
             lambda candidate: (candidate.host == span.host
                                and candidate.pid == span.pid))
-        if enclosing is not None:
+        if enclosing is not None \
+                and not _creates_cycle(span, enclosing, by_id):
             span.parent_id = enclosing.span_id
 
 
-def _apply_intra_component_rules(spans: list[Span], *,
+def _apply_intra_component_rules(spans: list[Span],
+                                 by_id: dict[int, Span], *,
                                  enable_x_request_id: bool = True) -> None:
     """Rules 8–10: intra-component association.
 
@@ -229,13 +310,15 @@ def _apply_intra_component_rules(spans: list[Span], *,
             parent = servers_by_xreq.get(
                 (span.host, span.pid, span.x_request_id))
         if (parent is not None and parent is not span
-                and parent.parent_id != span.span_id):
-            # The two-cycle guard: the chain rules may already have put
-            # the server span under this client span.
+                and not _creates_cycle(span, parent, by_id)):
+            # Cycle guard: the chain rules may already have put the
+            # server span under this client span, directly or through
+            # intermediate network spans.
             span.parent_id = parent.span_id
 
 
-def _apply_queue_relay_rules(spans: list[Span]) -> None:
+def _apply_queue_relay_rules(spans: list[Span],
+                             by_id: dict[int, Span]) -> None:
     """Rule 11 (beyond-paper extension): message-queue relay causality.
 
     §3.3.2 notes DeepFlow "incapable of managing scenarios such as
@@ -269,7 +352,7 @@ def _apply_queue_relay_rules(spans: list[Span]) -> None:
         publish = publishes.get(key)
         if (publish is not None and publish is not span
                 and publish.start_time <= span.start_time
-                and publish.parent_id != span.span_id):
+                and not _creates_cycle(span, publish, by_id)):
             span.parent_id = publish.span_id
 
 

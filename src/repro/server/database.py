@@ -1,9 +1,30 @@
 """Span database with association-key indexes.
 
-Backs Algorithm 1: every association identifier that the iterative search
-filters on (systrace_id, pseudo-thread, X-Request-ID, per-flow TCP
-sequence, third-party trace id) has a secondary index, and a time index
-supports span-list queries over a range (the Fig 15 workload).
+Backs Algorithm 1 twice over: every association identifier the iterative
+search filters on (systrace_id, pseudo-thread, X-Request-ID, per-flow TCP
+sequence, third-party trace id, queue message key) has a per-axis
+secondary index for the reference search path, and the same keys feed an
+incremental union-find (:class:`repro.server.index.TraceGraphIndex`) so
+the fast path answers trace membership without iterating at all.  A time
+index supports span-list queries over a range (the Fig 15 workload); it
+is kept as a sorted main run plus a small unsorted tail merged lazily on
+first query, so inserts never pay the O(n) ``bisect.insort`` shift.
+
+Ingest is the hot path — every span the fleet of agents ships lands in
+:meth:`SpanStore.insert_many` — so the store is write-optimized the way
+an LSM memtable is: an insert only registers the span (id map, for
+duplicate rejection and ``get``) and appends it to an unindexed *tail*.
+All index maintenance — per-axis secondary indexes, the union-find, the
+sorted time run — happens in commit passes that each query triggers for
+exactly the tail it needs, one fused pass per batch of inserts.  The
+deferred work is not avoided, just coalesced where it is cheapest: the
+commit loop uses raw identifier keys (an int systrace id hashes in a
+fraction of the time a tagged tuple does), inlines the axis checks from
+:func:`repro.server.index.association_keys` (the property test holds the
+two definitions in lock step), and hands union-find merges to
+:meth:`TraceGraphIndex.link_batch` as (new span, existing carrier)
+pairs.  :meth:`SpanStore.flush` forces both commits, letting benchmarks
+price ingest, index commit, and queries separately.
 """
 
 from __future__ import annotations
@@ -13,103 +34,297 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from repro.core.span import Span
+from repro.server.index import (
+    QUEUE_RELAY_PROTOCOLS,
+    TraceGraphIndex,
+    association_keys,
+)
 
-#: Protocols whose (resource, message id) pairs identify a message across
-#: a broker relay — the queue-tracing extension's association axis.
-QUEUE_RELAY_PROTOCOLS = ("amqp", "kafka", "mqtt")
+__all__ = [
+    "AssociationFilter",
+    "QUEUE_RELAY_PROTOCOLS",
+    "SpanStore",
+]
 
 
 @dataclass
 class AssociationFilter:
-    """The filter built up by Algorithm 1 (lines 6–10)."""
+    """The filter built up by Algorithm 1 (lines 6–10).
+
+    Besides the per-axis key sets, the filter tracks which keys have not
+    yet been handed to :meth:`SpanStore.search_new`, so the iterative
+    reference path never re-queries a key it already resolved.
+    """
 
     span_ids: set[int] = field(default_factory=set)
     systrace_ids: set[int] = field(default_factory=set)
     pseudo_threads: set[tuple] = field(default_factory=set)
     x_request_ids: set[str] = field(default_factory=set)
-    flow_seqs: set[tuple] = field(default_factory=set)  # (flow_key, seq)
+    flow_seqs: set[tuple] = field(default_factory=set)  # (flow_key, leg, seq)
     otel_trace_ids: set[str] = field(default_factory=set)
     #: (protocol, resource, message_id) — queue-relay extension.
     message_keys: set[tuple] = field(default_factory=set)
+    #: Tagged keys added since the last ``search_new`` drain.
+    _pending_keys: list[tuple] = field(default_factory=list, repr=False)
+    _pending_ids: list[int] = field(default_factory=list, repr=False)
+
+    #: tag → attribute holding that axis's key set.
+    _AXES = {
+        "sys": "systrace_ids",
+        "pt": "pseudo_threads",
+        "xr": "x_request_ids",
+        "fs": "flow_seqs",
+        "ot": "otel_trace_ids",
+        "mq": "message_keys",
+    }
 
     def absorb(self, span: Span) -> None:
         """Add one span's association keys to the filter."""
-        self.span_ids.add(span.span_id)
-        if span.systrace_id is not None:
-            self.systrace_ids.add(span.systrace_id)
-        if span.pseudo_thread_key:
-            self.pseudo_threads.add(span.pseudo_thread_key)
-        if span.x_request_id:
-            self.x_request_ids.add(span.x_request_id)
-        if span.flow_key is not None:
-            # Sequence numbers are per-direction counters, so the key
-            # carries which leg (request vs response) it refers to.
-            if span.req_tcp_seq is not None:
-                self.flow_seqs.add((span.flow_key, "q", span.req_tcp_seq))
-            if span.resp_tcp_seq is not None:
-                self.flow_seqs.add((span.flow_key, "p", span.resp_tcp_seq))
-        if span.otel_trace_id:
-            self.otel_trace_ids.add(span.otel_trace_id)
-        if (span.message_id is not None
-                and span.protocol in QUEUE_RELAY_PROTOCOLS):
-            self.message_keys.add(
-                (span.protocol, span.resource, span.message_id))
+        if span.span_id not in self.span_ids:
+            self.span_ids.add(span.span_id)
+            self._pending_ids.append(span.span_id)
+        for key in association_keys(span):
+            bucket = getattr(self, self._AXES[key[0]])
+            value = key[1]
+            if value not in bucket:
+                bucket.add(value)
+                self._pending_keys.append(key)
+
+    def take_pending(self) -> tuple[list[int], list[tuple]]:
+        """Drain the not-yet-queried span ids and tagged keys."""
+        ids, self._pending_ids = self._pending_ids, []
+        keys, self._pending_keys = self._pending_keys, []
+        return ids, keys
+
+    def tagged_keys(self) -> list[tuple]:
+        """Every key currently in the filter, in tagged form."""
+        keys: list[tuple] = []
+        for tag, axis in self._AXES.items():
+            keys.extend((tag, value) for value in getattr(self, axis))
+        return keys
 
 
 class SpanStore:
-    """In-memory indexed span storage."""
+    """In-memory indexed span storage with an incremental trace index."""
 
     def __init__(self) -> None:
         self._spans: dict[int, Span] = {}
-        self._by_systrace: dict[int, set[int]] = {}
-        self._by_pthread: dict[tuple, set[int]] = {}
-        self._by_xreq: dict[str, set[int]] = {}
-        self._by_flow_seq: dict[tuple, set[int]] = {}
-        self._by_otel: dict[str, set[int]] = {}
-        self._by_message: dict[tuple, set[int]] = {}
-        self._time_index: list[tuple[float, int]] = []  # sorted (start, id)
+        # Per-axis secondary indexes, raw identifier → posting.  Raw
+        # keys (int/str/tuple) hash faster than tagged tuples, and the
+        # tags are only needed where axes meet (the filter's pending
+        # list); _axis_index maps a tag back to its index for that case.
+        # A posting starts as a bare span id and is promoted to a set on
+        # its first collision — most keys (e.g. per-flow TCP sequences)
+        # are carried by exactly one span, and skipping the singleton
+        # set allocation is a measurable share of the ingest budget.
+        self._by_sys: dict[int, object] = {}
+        self._by_pt: dict[tuple, object] = {}
+        self._by_xr: dict[str, object] = {}
+        self._by_fs: dict[tuple, object] = {}
+        self._by_ot: dict[str, object] = {}
+        self._by_mq: dict[tuple, object] = {}
+        self._axis_index = {
+            "sys": self._by_sys,
+            "pt": self._by_pt,
+            "xr": self._by_xr,
+            "fs": self._by_fs,
+            "ot": self._by_ot,
+            "mq": self._by_mq,
+        }
+        #: sorted main run of (start_time, span_id), extended from the
+        #: tail by the time commit.
+        self._time_index: list[tuple[float, int]] = []
+        #: spans inserted but not yet indexed.  Two cursors track how far
+        #: each commit pass has consumed it; once both passes catch up,
+        #: the tail is emptied.
+        self._tail: list[Span] = []
+        self._keys_committed = 0
+        self._time_committed = 0
+        #: incremental association-graph components (fast path).  Updated
+        #: by the key commit — read it through :meth:`component_ids` /
+        #: :meth:`component_spans`, or call :meth:`flush` first.
+        self.graph = TraceGraphIndex()
         self.search_count = 0
 
     def __len__(self) -> int:
         return len(self._spans)
 
+    # -- ingest ------------------------------------------------------------
+
     def insert(self, span: Span) -> None:
-        """Encode and account one row."""
-        if span.span_id in self._spans:
-            raise ValueError(f"duplicate span id {span.span_id}")
-        self._spans[span.span_id] = span
-        if span.systrace_id is not None:
-            self._by_systrace.setdefault(span.systrace_id,
-                                         set()).add(span.span_id)
-        if span.pseudo_thread_key:
-            self._by_pthread.setdefault(span.pseudo_thread_key,
-                                        set()).add(span.span_id)
-        if span.x_request_id:
-            self._by_xreq.setdefault(span.x_request_id,
-                                     set()).add(span.span_id)
-        if span.flow_key is not None:
-            if span.req_tcp_seq is not None:
-                self._by_flow_seq.setdefault(
-                    (span.flow_key, "q", span.req_tcp_seq),
-                    set()).add(span.span_id)
-            if span.resp_tcp_seq is not None:
-                self._by_flow_seq.setdefault(
-                    (span.flow_key, "p", span.resp_tcp_seq),
-                    set()).add(span.span_id)
-        if span.otel_trace_id:
-            self._by_otel.setdefault(span.otel_trace_id,
-                                     set()).add(span.span_id)
-        if (span.message_id is not None
-                and span.protocol in QUEUE_RELAY_PROTOCOLS):
-            self._by_message.setdefault(
-                (span.protocol, span.resource, span.message_id),
-                set()).add(span.span_id)
-        bisect.insort(self._time_index, (span.start_time, span.span_id))
+        """Register one span; index maintenance is deferred to commit."""
+        self.insert_many((span,))
 
     def insert_many(self, spans: Iterable[Span]) -> None:
-        """Insert every span in *spans*."""
+        """Batch ingest: register each span and append it to the tail.
+
+        This is everything ingest pays — duplicate rejection, the id
+        map, one list append.  Secondary indexes, the union-find, and
+        the time run catch up lazily (:meth:`_commit_keys` /
+        :meth:`_commit_time_index`) the first time a query needs them,
+        in one fused pass over however many batches arrived since.
+        """
+        spans_map = self._spans
+        tail_append = self._tail.append
         for span in spans:
-            self.insert(span)
+            span_id = span.span_id
+            if span_id in spans_map:
+                raise ValueError(f"duplicate span id {span_id}")
+            spans_map[span_id] = span
+            tail_append(span)
+
+    # -- index commits -----------------------------------------------------
+
+    def _commit_keys(self) -> None:
+        """Index the tail's association keys (axes + union-find).
+
+        The per-axis branches below are the inlined form of
+        :func:`repro.server.index.association_keys`; keep them in sync
+        (tests/test_trace_index_properties.py proves the equivalence).
+        Each branch is the same shape: a missing posting is created as a
+        bare span id, a scalar posting is promoted to a set, and either
+        collision case records one (new span, existing carrier) link.
+        """
+        tail = self._tail
+        start = self._keys_committed
+        if start == len(tail):
+            return
+        by_sys = self._by_sys
+        by_pt = self._by_pt
+        by_xr = self._by_xr
+        by_fs = self._by_fs
+        by_ot = self._by_ot
+        by_mq = self._by_mq
+        links: list[tuple[int, int]] = []
+        links_append = links.append
+        for span in tail[start:]:
+            span_id = span.span_id
+            value = span.systrace_id
+            if value is not None:
+                ids = by_sys.get(value)
+                if ids is None:
+                    by_sys[value] = span_id
+                elif ids.__class__ is int:
+                    links_append((span_id, ids))
+                    by_sys[value] = {ids, span_id}
+                else:
+                    links_append((span_id, next(iter(ids))))
+                    ids.add(span_id)
+            value = span.pseudo_thread_key
+            if value:
+                ids = by_pt.get(value)
+                if ids is None:
+                    by_pt[value] = span_id
+                elif ids.__class__ is int:
+                    links_append((span_id, ids))
+                    by_pt[value] = {ids, span_id}
+                else:
+                    links_append((span_id, next(iter(ids))))
+                    ids.add(span_id)
+            value = span.x_request_id
+            if value:
+                ids = by_xr.get(value)
+                if ids is None:
+                    by_xr[value] = span_id
+                elif ids.__class__ is int:
+                    links_append((span_id, ids))
+                    by_xr[value] = {ids, span_id}
+                else:
+                    links_append((span_id, next(iter(ids))))
+                    ids.add(span_id)
+            flow = span.flow_key
+            if flow is not None:
+                seq = span.req_tcp_seq
+                if seq is not None:
+                    value = (flow, "q", seq)
+                    ids = by_fs.get(value)
+                    if ids is None:
+                        by_fs[value] = span_id
+                    elif ids.__class__ is int:
+                        links_append((span_id, ids))
+                        by_fs[value] = {ids, span_id}
+                    else:
+                        links_append((span_id, next(iter(ids))))
+                        ids.add(span_id)
+                seq = span.resp_tcp_seq
+                if seq is not None:
+                    value = (flow, "p", seq)
+                    ids = by_fs.get(value)
+                    if ids is None:
+                        by_fs[value] = span_id
+                    elif ids.__class__ is int:
+                        links_append((span_id, ids))
+                        by_fs[value] = {ids, span_id}
+                    else:
+                        links_append((span_id, next(iter(ids))))
+                        ids.add(span_id)
+            value = span.otel_trace_id
+            if value:
+                ids = by_ot.get(value)
+                if ids is None:
+                    by_ot[value] = span_id
+                elif ids.__class__ is int:
+                    links_append((span_id, ids))
+                    by_ot[value] = {ids, span_id}
+                else:
+                    links_append((span_id, next(iter(ids))))
+                    ids.add(span_id)
+            if (span.message_id is not None
+                    and span.protocol in QUEUE_RELAY_PROTOCOLS):
+                value = (span.protocol, span.resource, span.message_id)
+                ids = by_mq.get(value)
+                if ids is None:
+                    by_mq[value] = span_id
+                elif ids.__class__ is int:
+                    links_append((span_id, ids))
+                    by_mq[value] = {ids, span_id}
+                else:
+                    links_append((span_id, next(iter(ids))))
+                    ids.add(span_id)
+        self._keys_committed = len(tail)
+        if links:
+            self.graph.link_batch(links)
+        self._shrink_tail()
+
+    def _commit_time_index(self) -> None:
+        """Merge the tail into the sorted time run.
+
+        Sort entries are only built here, so ingest pays a plain list
+        append per span.  ``list.sort`` is adaptive: when batches arrive
+        out of order, appending the sorted new entries leaves two sorted
+        runs, which Timsort merges in O(n) comparisons — one merge per
+        commit, instead of one O(n) shift per span.
+        """
+        tail = self._tail
+        start = self._time_committed
+        if start == len(tail):
+            return
+        entries = [(span.start_time, span.span_id) for span in tail[start:]]
+        entries.sort()
+        main = self._time_index
+        in_order = not main or main[-1] <= entries[0]
+        main.extend(entries)
+        if not in_order:
+            main.sort()
+        self._time_committed = len(tail)
+        self._shrink_tail()
+
+    def _shrink_tail(self) -> None:
+        """Drop the tail once every commit pass has consumed it."""
+        if self._keys_committed == self._time_committed == len(self._tail):
+            self._tail.clear()
+            self._keys_committed = 0
+            self._time_committed = 0
+
+    def flush(self) -> None:
+        """Force all deferred index maintenance to run now.
+
+        Queries trigger the commits they need on their own; this exists
+        for callers that want index cost out of a measured or latency-
+        critical window (benchmarks, snapshot/export paths).
+        """
+        self._commit_keys()
+        self._commit_time_index()
 
     def get(self, span_id: int) -> Optional[Span]:
         """Fetch the span by id, or None."""
@@ -123,22 +338,63 @@ class SpanStore:
 
     def search(self, assoc: AssociationFilter) -> set[int]:
         """All span ids matching any key in the filter (line 12)."""
+        self._commit_keys()
         self.search_count += 1
+        spans_map = self._spans
         result: set[int] = set(
-            span_id for span_id in assoc.span_ids if span_id in self._spans)
-        for systrace_id in assoc.systrace_ids:
-            result |= self._by_systrace.get(systrace_id, set())
-        for pthread in assoc.pseudo_threads:
-            result |= self._by_pthread.get(pthread, set())
-        for x_request_id in assoc.x_request_ids:
-            result |= self._by_xreq.get(x_request_id, set())
-        for flow_seq in assoc.flow_seqs:
-            result |= self._by_flow_seq.get(flow_seq, set())
-        for trace_id in assoc.otel_trace_ids:
-            result |= self._by_otel.get(trace_id, set())
-        for message_key in assoc.message_keys:
-            result |= self._by_message.get(message_key, set())
+            span_id for span_id in assoc.span_ids if span_id in spans_map)
+        for tag, axis in AssociationFilter._AXES.items():
+            index = self._axis_index[tag]
+            for value in getattr(assoc, axis):
+                ids = index.get(value)
+                if ids is None:
+                    continue
+                if ids.__class__ is int:
+                    result.add(ids)
+                else:
+                    result |= ids
         return result
+
+    def search_new(self, assoc: AssociationFilter) -> set[int]:
+        """Span ids matching keys *not yet queried* through this filter.
+
+        The iterative reference path accumulates results across rounds,
+        so re-querying keys it already resolved is pure waste; draining
+        only the filter's pending keys cuts each round to the frontier.
+        The union over rounds equals a full :meth:`search`, because a
+        key's posting set never changes during a query.
+        """
+        self._commit_keys()
+        self.search_count += 1
+        pending_ids, pending_keys = assoc.take_pending()
+        spans_map = self._spans
+        result: set[int] = set(
+            span_id for span_id in pending_ids if span_id in spans_map)
+        axis_index = self._axis_index
+        for tag, value in pending_keys:
+            ids = axis_index[tag].get(value)
+            if ids is None:
+                continue
+            if ids.__class__ is int:
+                result.add(ids)
+            else:
+                result |= ids
+        return result
+
+    def component_ids(self, span_id: int) -> set[int]:
+        """Fast path: the span's whole trace component from the
+        union-find, as a read-only set (near-O(α) lookup once the
+        pending tail, if any, is committed)."""
+        if span_id not in self._spans:
+            raise KeyError(f"unknown span id {span_id}")
+        self._commit_keys()
+        return self.graph.component(span_id)
+
+    def component_spans(self, span_id: int) -> list[Span]:
+        """Fast path: every span in *span_id*'s trace component."""
+        spans_map = self._spans
+        return [spans_map[member]
+                for member in self.component_ids(span_id)]
 
     # -- span-list queries (Fig 15) -----------------------------------------
 
@@ -146,9 +402,11 @@ class SpanStore:
                   predicate: Optional[Callable[[Span], bool]] = None
                   ) -> list[Span]:
         """Spans with start_time in [start, end), optionally filtered."""
+        self._commit_time_index()
         lo = bisect.bisect_left(self._time_index, (start, -1))
         hi = bisect.bisect_left(self._time_index, (end, -1))
-        spans = [self._spans[span_id]
+        spans_map = self._spans
+        spans = [spans_map[span_id]
                  for _start, span_id in self._time_index[lo:hi]]
         if predicate is not None:
             spans = [span for span in spans if predicate(span)]

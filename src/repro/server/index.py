@@ -1,0 +1,212 @@
+"""Incremental association-graph index: the Algorithm 1 fast path.
+
+Algorithm 1 computes, for a starting span, the fixed point of "all spans
+sharing an association key with the current set".  That fixed point is
+exactly a connected component of the *association graph* whose vertices
+are spans and whose edges join spans carrying a common association key
+(systrace_id, pseudo-thread, X-Request-ID, per-flow TCP sequence,
+third-party trace id, queue message key).
+
+Instead of re-running the iterative search from cold indexes on every
+query, :class:`TraceGraphIndex` maintains those components *at ingest
+time* with a union-find (disjoint-set forest, union by size + path
+halving): each association key remembers one span that carries it, and
+every later span with the same key is unioned into that span's set.
+Trace membership then becomes a near-O(α) ``find`` plus a component
+read-out — no iteration, no per-query filter construction.
+
+Spans that never share a key with anyone are kept implicit: they get no
+forest entry at all, and ``component`` answers ``{span_id}`` for them
+directly.  This keeps the ingest hot path from paying forest setup for
+singleton spans, and lets :meth:`link` batches coalesce.
+
+The iterative search survives as the property-tested reference
+implementation (:meth:`repro.server.assembler.TraceAssembler.collect`
+with ``use_index=False``); the Fig 15 benchmark reports both so the
+paper's span-list vs trace-query ratio story stays visible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Protocols whose (resource, message id) pairs identify a message across
+#: a broker relay — the queue-tracing extension's association axis.
+QUEUE_RELAY_PROTOCOLS = ("amqp", "kafka", "mqtt")
+
+
+def association_keys(span) -> list[tuple]:
+    """The tagged association keys one span contributes to Algorithm 1.
+
+    This is the reference definition of the association axes, shared by
+    :meth:`repro.server.database.AssociationFilter.absorb` (the
+    iterative path) and :meth:`TraceGraphIndex.add_span`; the span
+    store's fused ingest loop inlines the same checks per axis and the
+    fast-vs-reference property test holds the two in lock step.  Tags
+    keep the per-axis key spaces disjoint:
+
+    ``("sys", id)`` systrace · ``("pt", key)`` pseudo-thread ·
+    ``("xr", id)`` X-Request-ID · ``("fs", (flow, leg, seq))`` per-flow
+    TCP sequence · ``("ot", id)`` third-party trace · ``("mq",
+    (protocol, resource, message id))`` queue-relay message.
+    """
+    keys: list[tuple] = []
+    if span.systrace_id is not None:
+        keys.append(("sys", span.systrace_id))
+    if span.pseudo_thread_key:
+        keys.append(("pt", span.pseudo_thread_key))
+    if span.x_request_id:
+        keys.append(("xr", span.x_request_id))
+    if span.flow_key is not None:
+        # Sequence numbers are per-direction counters, so the key carries
+        # which leg (request vs response) it refers to.
+        if span.req_tcp_seq is not None:
+            keys.append(("fs", (span.flow_key, "q", span.req_tcp_seq)))
+        if span.resp_tcp_seq is not None:
+            keys.append(("fs", (span.flow_key, "p", span.resp_tcp_seq)))
+    if span.otel_trace_id:
+        keys.append(("ot", span.otel_trace_id))
+    if (span.message_id is not None
+            and span.protocol in QUEUE_RELAY_PROTOCOLS):
+        keys.append(("mq", (span.protocol, span.resource,
+                            span.message_id)))
+    return keys
+
+
+class TraceGraphIndex:
+    """Union-find over spans, merged along shared association keys.
+
+    Supports only growth (spans are never deleted from the store), which
+    is the regime where union-find is optimal: a link is amortized
+    near-O(α), ``component`` is a find plus returning the root's member
+    set.  Member sets are merged smaller-into-larger, bounding total
+    membership moves at O(n log n) over any insert sequence.
+
+    Two usage modes:
+
+    * the span store resolves key→owner through its own secondary
+      indexes and calls :meth:`link` / :meth:`link_batch` directly;
+    * standalone callers use :meth:`add_span` / :meth:`add`, which keep
+      an internal key→owner table.  Don't mix the modes on one instance
+      — the internal table doesn't see store-resolved links.
+    """
+
+    def __init__(self) -> None:
+        #: span id → union-find parent.  Singleton spans are implicit:
+        #: no entry at all until they first share a key.
+        self._parent: dict[int, int] = {}
+        #: root span id → the ids of every span in its component.
+        self._members: dict[int, set[int]] = {}
+        #: association key → one span id known to carry it (standalone
+        #: mode only).
+        self._key_owner: dict[tuple, int] = {}
+        self.merges = 0
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    # -- growth -----------------------------------------------------------
+
+    def add_span(self, span) -> None:
+        """Index one span standalone (computes its keys)."""
+        self.add(span.span_id, association_keys(span))
+
+    def add(self, span_id: int, keys: Iterable[tuple]) -> None:
+        """Index *span_id* under pre-computed tagged *keys*, resolving
+        key ownership through the internal table (standalone mode)."""
+        key_owner = self._key_owner
+        for key in keys:
+            owner = key_owner.get(key)
+            if owner is None:
+                key_owner[key] = span_id
+            else:
+                self.link(span_id, owner)
+
+    def link(self, a: int, b: int) -> None:
+        """Record that spans *a* and *b* share an association key."""
+        self.link_batch(((a, b),))
+
+    def link_batch(self, links: Iterable[tuple[int, int]]) -> None:
+        """Apply a batch of shared-key links in one tight pass.
+
+        The batched ingest path: the store accumulates one (new span,
+        existing carrier) pair per matched key across a whole shipment,
+        then coalesces every merge here with the forest dicts held in
+        locals — no per-link method dispatch.
+        """
+        parent = self._parent
+        members = self._members
+        merges = 0
+        for a, b in links:
+            root_b = parent.get(b)
+            if root_b is None:
+                parent[b] = b
+                members[b] = {b}
+                root_b = b
+            else:
+                while parent[root_b] != root_b:
+                    parent[root_b] = parent[parent[root_b]]
+                    root_b = parent[root_b]
+            root_a = parent.get(a)
+            if root_a is None:
+                # The common ingest shape: *a* is a fresh span joining an
+                # existing component — attach it directly instead of
+                # building a singleton set only to merge it away.
+                parent[a] = root_b
+                members[root_b].add(a)
+                merges += 1
+                continue
+            while parent[root_a] != root_a:
+                parent[root_a] = parent[parent[root_a]]
+                root_a = parent[root_a]
+            if root_a == root_b:
+                continue
+            members_a = members[root_a]
+            members_b = members[root_b]
+            if len(members_a) < len(members_b):
+                root_a, root_b = root_b, root_a
+                members_a, members_b = members_b, members_a
+            parent[root_b] = root_a
+            members_a.update(members_b)
+            del members[root_b]
+            merges += 1
+        self.merges += merges
+
+    # -- queries ----------------------------------------------------------
+
+    def find(self, span_id: int) -> int:
+        """Component representative of *span_id* (path halving).
+
+        Implicit singletons are their own representative.
+        """
+        parent = self._parent
+        if span_id not in parent:
+            return span_id
+        while parent[span_id] != span_id:
+            parent[span_id] = parent[parent[span_id]]
+            span_id = parent[span_id]
+        return span_id
+
+    def component(self, span_id: int) -> set[int]:
+        """Every span id in *span_id*'s component.
+
+        For spans that have shared a key this returns the live member
+        set — treat it as read-only; it is updated in place by later
+        inserts.  Callers that need a snapshot copy it.
+        """
+        parent = self._parent
+        root = parent.get(span_id)
+        if root is None:
+            return {span_id}
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return self._members[root]
+
+    def component_size(self, span_id: int) -> int:
+        """Number of spans in *span_id*'s component."""
+        return len(self.component(span_id))
+
+    def same_component(self, a: int, b: int) -> bool:
+        """Whether two spans belong to one trace component."""
+        return self.find(a) == self.find(b)

@@ -57,11 +57,16 @@ class DeepFlowServer:
     # -- ingestion ---------------------------------------------------------
 
     def ingest_spans(self, spans: list[Span]) -> None:
-        """Enrich and store a batch of spans from an agent."""
+        """Enrich and store a batch of spans from an agent.
+
+        The whole batch goes through :meth:`SpanStore.insert_many`, so
+        the time index is merged once per shipment and the union-find
+        merges coalesce, instead of paying per-span index maintenance.
+        """
         for span in spans:
             self._enrich(span)
-            self.store.insert(span)
-            self.ingested_spans += 1
+        self.store.insert_many(spans)
+        self.ingested_spans += len(spans)
 
     def _enrich(self, span: Span) -> None:
         """Smart-encoding step ⑦: (vpc, ip) → resource tags in Int form.
@@ -101,9 +106,17 @@ class DeepFlowServer:
                 out.append(span)
         return out
 
-    def trace(self, start_span_id: int) -> Trace:
-        """Assemble the trace containing *start_span_id* (Algorithm 1)."""
-        trace = self.assembler.assemble(start_span_id)
+    def trace(self, start_span_id: int,
+              use_index: Optional[bool] = None) -> Trace:
+        """Assemble the trace containing *start_span_id*.
+
+        By default the span set comes from the incremental
+        association-graph index (near-O(α) component lookup);
+        ``use_index=False`` runs the iterative Algorithm 1 reference
+        instead (the Fig 15 benchmark times both).
+        """
+        trace = self.assembler.assemble(start_span_id,
+                                        use_index=use_index)
         for span in trace:
             vpc = span.tags.get("vpc")
             ip = span.tags.get("ip")
@@ -124,6 +137,12 @@ class DeepFlowServer:
 
     # -- tag-grouped analytics (§3.4) ------------------------------------
 
+    def _ranged_spans(self, start: float, end: float) -> list[Span]:
+        """One time-ranged scan shared by the tag-grouped analytics
+        (open-ended ranges included — the time index handles ``inf``
+        directly, no sentinel clamping needed)."""
+        return self.store.span_list(start, end)
+
     def latency_by_tag(self, tag_key: str, *,
                        side: SpanSide = SpanSide.SERVER,
                        start: float = 0.0,
@@ -135,7 +154,7 @@ class DeepFlowServer:
         the invocations are time-consuming".
         """
         groups: dict[str, list[float]] = {}
-        for span in self.store.span_list(start, min(end, float("1e18"))):
+        for span in self._ranged_spans(start, end):
             if span.side is not side:
                 continue
             tag_value = span.tags.get(tag_key)
@@ -159,7 +178,7 @@ class DeepFlowServer:
         """Fraction of error spans per tag value (any side)."""
         totals: dict[str, int] = {}
         errors: dict[str, int] = {}
-        for span in self.store.span_list(start, min(end, float("1e18"))):
+        for span in self._ranged_spans(start, end):
             tag_value = span.tags.get(tag_key)
             if tag_value is None:
                 continue
@@ -175,7 +194,7 @@ class DeepFlowServer:
                      start: float = 0.0,
                      end: float = float("inf")) -> Optional[Span]:
         """The user's typical starting point: a time-consuming invocation."""
-        spans = [span for span in self.store.span_list(start, end)
+        spans = [span for span in self._ranged_spans(start, end)
                  if span.side is side]
         if not spans:
             return None

@@ -81,6 +81,18 @@ class Queue:
         self._items.clear()
         return items
 
+    def drain_into(self, out: list) -> int:
+        """Append all queued items to *out* without blocking.
+
+        The batch-consumption path: a caller-owned (reusable) list
+        receives the items, so steady-state polling loops allocate no
+        per-cycle list.  Returns the number of items drained.
+        """
+        count = len(self._items)
+        out.extend(self._items)
+        self._items.clear()
+        return count
+
     def close(self) -> None:
         """Close the queue; pending and future getters fail."""
         if self._closed:

@@ -144,9 +144,12 @@ class TestAssembler:
                               req_tcp_seq=(i + 1) // 2 * 1000 + 7))
         store.insert_many(chain)
         assembler = TraceAssembler(store, iterations=3)
-        collected = assembler.collect(chain[0].span_id)
+        collected = assembler.collect(chain[0].span_id, use_index=False)
         assert assembler.last_iteration_count == 3
         assert len(collected) < len(chain)
+        # The fast path has no iteration cap: the component is already
+        # materialized, so the full chain comes back.
+        assert len(assembler.collect(chain[0].span_id)) == len(chain)
 
     def test_server_parented_under_client(self):
         client, server = self._linked_pair()

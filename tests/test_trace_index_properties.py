@@ -1,0 +1,184 @@
+"""Property tests: the trace-graph index against the Algorithm 1 oracle.
+
+The fast path answers "which spans form this trace?" from an
+incrementally maintained union-find; the reference path iterates the
+paper's Algorithm 1.  Both must compute the same fixed point — the
+connected component of the association graph — on any span population,
+for any insertion order and batching, with queue-relay keys in play and
+the ablation flags in every combination.
+
+A third implementation keeps the other two honest: an in-test BFS over
+an adjacency map built straight from
+:func:`repro.server.index.association_keys`.  Because the store's fused
+ingest loop *inlines* those axis checks, this oracle is what detects the
+two definitions drifting apart.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.span import Span, SpanKind, SpanSide
+from repro.server.assembler import TraceAssembler
+from repro.server.database import SpanStore
+from repro.server.index import association_keys
+
+#: Small key domains keep the random association graphs densely
+#: connected, so the iterative reference converges far below the
+#: generous iteration budget the test assemblers run with.
+_SYSTRACE = st.none() | st.integers(min_value=0, max_value=5)
+_PTHREAD = st.none() | st.tuples(st.integers(0, 2), st.integers(0, 2))
+_XREQ = st.none() | st.sampled_from(["xa", "xb", "xc"])
+_FLOW = st.none() | st.tuples(st.just("flow"), st.integers(0, 2))
+_SEQ = st.none() | st.integers(min_value=0, max_value=4)
+_OTEL = st.none() | st.sampled_from(["ota", "otb"])
+#: "http" carries a message id but is not a queue-relay protocol, so it
+#: must NOT associate through the mq axis.
+_PROTOCOL = st.sampled_from(["", "http", "amqp", "kafka", "mqtt"])
+_MESSAGE_ID = st.none() | st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def span_lists(draw, min_size=1, max_size=30):
+    """Random span populations exercising every association axis."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    spans = []
+    for span_id in range(count):
+        start = draw(st.floats(min_value=0.0, max_value=10.0,
+                               allow_nan=False))
+        spans.append(Span(
+            span_id=span_id,
+            kind=draw(st.sampled_from(list(SpanKind))),
+            side=draw(st.sampled_from(list(SpanSide))),
+            start_time=start,
+            end_time=start + draw(st.floats(min_value=0.0, max_value=1.0,
+                                            allow_nan=False)),
+            protocol=draw(_PROTOCOL),
+            resource=draw(st.sampled_from(["", "q1", "q2"])),
+            systrace_id=draw(_SYSTRACE),
+            pseudo_thread_key=draw(_PTHREAD),
+            x_request_id=draw(_XREQ),
+            flow_key=draw(_FLOW),
+            req_tcp_seq=draw(_SEQ),
+            resp_tcp_seq=draw(_SEQ),
+            otel_trace_id=draw(_OTEL),
+            message_id=draw(_MESSAGE_ID),
+        ))
+    return spans
+
+
+def _oracle_component(spans, start_id):
+    """BFS fixed point over association_keys — independent of the store."""
+    carriers = {}
+    for span in spans:
+        for key in association_keys(span):
+            carriers.setdefault(key, set()).add(span.span_id)
+    by_id = {span.span_id: span for span in spans}
+    component = {start_id}
+    frontier = [start_id]
+    while frontier:
+        next_frontier = []
+        for span_id in frontier:
+            for key in association_keys(by_id[span_id]):
+                for other in carriers[key]:
+                    if other not in component:
+                        component.add(other)
+                        next_frontier.append(other)
+        frontier = next_frontier
+    return component
+
+
+def _assembler(store):
+    # A generous iteration budget: these tests check the *un-truncated*
+    # fixed point, not the production cap (which is covered separately
+    # by test_server_components.py).
+    return TraceAssembler(store, iterations=200)
+
+
+@settings(max_examples=120, deadline=None)
+@given(spans=span_lists())
+def test_fast_path_matches_reference_and_oracle(spans):
+    """collect() == collect_iterative() == BFS oracle, from every start."""
+    store = SpanStore()
+    store.insert_many(spans)
+    assembler = _assembler(store)
+    for span in spans:
+        fast = {s.span_id for s in assembler.collect(span.span_id)}
+        reference = {s.span_id
+                     for s in assembler.collect_iterative(span.span_id)}
+        assert fast == reference
+        assert fast == _oracle_component(spans, span.span_id)
+
+
+@settings(max_examples=80, deadline=None)
+@given(spans=span_lists(min_size=2),
+       cut=st.integers(min_value=0, max_value=100),
+       query_between=st.booleans(),
+       singles=st.booleans())
+def test_incremental_inserts_match_bulk_insert(spans, cut,
+                                               query_between, singles):
+    """Components are the same whether spans arrive in one batch, in
+    several, or one at a time — including when queries (which trigger
+    the lazy index commits) land between the batches."""
+    bulk = SpanStore()
+    bulk.insert_many(spans)
+
+    incremental = SpanStore()
+    cut = cut % len(spans)
+    incremental.insert_many(spans[:cut])
+    if query_between and cut:
+        # Force commits mid-stream: later inserts must extend, not
+        # corrupt, already-committed components.
+        incremental.component_ids(spans[0].span_id)
+        incremental.span_list(0.0, float("inf"))
+    if singles:
+        for span in spans[cut:]:
+            incremental.insert(span)
+    else:
+        incremental.insert_many(spans[cut:])
+
+    for span in spans:
+        assert (incremental.component_ids(span.span_id)
+                == bulk.component_ids(span.span_id))
+    assert len(incremental.span_list(0.0, float("inf"))) == len(spans)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spans=span_lists(),
+       queue_relay=st.booleans(),
+       x_request_id=st.booleans(),
+       use_index=st.booleans())
+def test_assemble_span_set_stable_under_ablations(spans, queue_relay,
+                                                  x_request_id,
+                                                  use_index):
+    """The ablation flags change parent wiring, never trace membership,
+    on either path."""
+    store = SpanStore()
+    store.insert_many(spans)
+    assembler = TraceAssembler(store, iterations=200,
+                               enable_queue_relay=queue_relay,
+                               enable_x_request_id=x_request_id,
+                               use_index=use_index)
+    start = spans[0].span_id
+    trace = assembler.assemble(start)
+    assert ({span.span_id for span in trace}
+            == _oracle_component(spans, start))
+
+
+@settings(max_examples=60, deadline=None)
+@given(spans=span_lists())
+def test_queue_relay_protocol_gating(spans):
+    """Only amqp/kafka/mqtt message ids associate spans; an http span
+    with the same (resource, message id) must stay out of the mq axis."""
+    store = SpanStore()
+    store.insert_many(spans)
+    relayed = [span for span in spans
+               if span.protocol in ("amqp", "kafka", "mqtt")
+               and span.message_id is not None]
+    for a in relayed:
+        for b in relayed:
+            if (a.protocol, a.resource, a.message_id) \
+                    == (b.protocol, b.resource, b.message_id):
+                assert b.span_id in store.component_ids(a.span_id)
+    for span in spans:
+        if span.protocol == "http" and span.message_id is not None:
+            keys = association_keys(span)
+            assert not any(key[0] == "mq" for key in keys)

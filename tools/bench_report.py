@@ -1,0 +1,154 @@
+"""Emit BENCH_results.json: the headline numbers of the perf work.
+
+Runs the three hot-path measurements this repo optimizes — agent
+pipeline throughput, span-store ingest, and Algorithm 1 trace assembly
+(incremental trace-graph index vs the iterative reference) — and writes
+them as one JSON document, so perf regressions show up as a diffable
+artifact rather than scrolling benchmark logs.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py [output.json]
+
+The workloads intentionally mirror the pytest benchmarks
+(benchmarks/test_agent_throughput.py, benchmarks/test_scale.py): same
+shapes, same sizes, so the numbers are comparable across both harnesses.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.agent.agent import DeepFlowAgent
+from repro.core.span import Span, SpanKind, SpanSide
+from repro.kernel.kernel import Kernel
+from repro.kernel.sockets import FiveTuple
+from repro.kernel.syscalls import Direction, SyscallRecord
+from repro.protocols import http1
+from repro.server.assembler import TraceAssembler
+from repro.server.database import SpanStore
+from repro.sim.engine import Simulator
+
+AGENT_EVENTS = 20_000
+STORE_SPANS = 50_000
+TRACE_CHAIN = 24
+TRACE_QUERIES = 200
+
+
+def bench_agent_pipeline() -> dict:
+    """Events/second through the full user-space agent pipeline."""
+    request = http1.encode_request("GET", "/api/items")
+    response = http1.encode_response(200, body=b"[]")
+    records = []
+    t = 0.0
+    for index in range(AGENT_EVENTS // 2):
+        socket_id = index % 8
+        ft = FiveTuple("10.0.0.1", 40000 + socket_id, "10.0.0.2", 80)
+        for direction, abi, payload in (
+                (Direction.INGRESS, "read", request),
+                (Direction.EGRESS, "write", response)):
+            t += 1e-4
+            records.append(SyscallRecord(
+                pid=1, tid=100 + socket_id, coroutine_id=None,
+                process_name="svc", socket_id=socket_id, five_tuple=ft,
+                tcp_seq=index * 100 + 1, enter_time=t,
+                exit_time=t + 1e-5, direction=direction, abi=abi,
+                byte_len=len(payload), payload=payload,
+                ret=len(payload), host_name="node-1"))
+    sim = Simulator(seed=1)
+    agent = DeepFlowAgent(Kernel(sim, "node-1"), agent_index=1)
+    clock = time.perf_counter()
+    for record in records:
+        agent._process_event(record)
+    elapsed = time.perf_counter() - clock
+    return {
+        "events": AGENT_EVENTS,
+        "spans_emitted": agent.stats["spans_emitted"],
+        "events_per_second": round(AGENT_EVENTS / elapsed),
+        "per_event_us": round(elapsed / AGENT_EVENTS * 1e6, 2),
+    }
+
+
+def bench_store_ingest() -> dict:
+    """Span-store ingest rate, with the deferred index commit priced."""
+    spans = [Span(
+        span_id=index, kind=SpanKind.SYSCALL,
+        side=SpanSide.CLIENT if index % 2 else SpanSide.SERVER,
+        start_time=index * 1e-4, end_time=index * 1e-4 + 1e-3,
+        systrace_id=index // 4, flow_key=("flow", index % 977),
+        req_tcp_seq=index) for index in range(STORE_SPANS)]
+    store = SpanStore()
+    clock = time.perf_counter()
+    store.insert_many(spans)
+    insert_seconds = time.perf_counter() - clock
+    clock = time.perf_counter()
+    store.flush()
+    commit_seconds = time.perf_counter() - clock
+    return {
+        "spans": STORE_SPANS,
+        "insert_rate_spans_per_second": round(STORE_SPANS / insert_seconds),
+        "index_commit_ms": round(commit_seconds * 1e3, 2),
+        "ingest_to_queryable_spans_per_second":
+            round(STORE_SPANS / (insert_seconds + commit_seconds)),
+    }
+
+
+def bench_trace_assembly() -> dict:
+    """Algorithm 1 per-query cost: trace-graph index vs iterative
+    reference, on chain-shaped traces over a 50k-span store."""
+    store = SpanStore()
+    spans = []
+    span_id = 0
+    for group in range(STORE_SPANS // TRACE_CHAIN + 1):
+        for pos in range(TRACE_CHAIN):
+            spans.append(Span(
+                span_id=span_id, kind=SpanKind.SYSCALL,
+                side=SpanSide.CLIENT if pos % 2 else SpanSide.SERVER,
+                start_time=span_id * 1e-4,
+                end_time=span_id * 1e-4 + 1e-3,
+                systrace_id=group * TRACE_CHAIN + pos // 2,
+                x_request_id=(f"x-{group}-{(pos + 1) // 2}"
+                              if pos > 0 else None)))
+            span_id += 1
+    store.insert_many(spans)
+    store.flush()
+    assembler = TraceAssembler(store)
+    starts = [span.span_id
+              for span in spans[::TRACE_CHAIN][:TRACE_QUERIES]]
+    clock = time.perf_counter()
+    for start in starts:
+        assembler.collect_iterative(start)
+    reference_seconds = (time.perf_counter() - clock) / len(starts)
+    clock = time.perf_counter()
+    for start in starts:
+        assembler.collect(start)
+    fast_seconds = (time.perf_counter() - clock) / len(starts)
+    return {
+        "store_spans": len(store),
+        "chain_length": TRACE_CHAIN,
+        "queries": len(starts),
+        "trace_assembly_fast_ms": round(fast_seconds * 1e3, 4),
+        "trace_assembly_reference_ms": round(reference_seconds * 1e3, 4),
+        "speedup": round(reference_seconds / fast_seconds, 1),
+    }
+
+
+def main(argv: list[str]) -> int:
+    out_path = argv[1] if len(argv) > 1 else "BENCH_results.json"
+    report = {
+        "agent_pipeline": bench_agent_pipeline(),
+        "store_ingest": bench_store_ingest(),
+        "trace_assembly": bench_trace_assembly(),
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
