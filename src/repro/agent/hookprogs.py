@@ -105,8 +105,11 @@ def _sized(build, budget: int, hook_type: str, name: str):
     pad = (budget - base) % _LOOP_BODY_INSNS
     bytecode = build(1 + extra_trips, pad)
     report = verify_bytecode(bytecode, hook_type, name=name)
-    assert report.worst_case_instructions == budget, \
-        (report.worst_case_instructions, budget)
+    if report.worst_case_instructions != budget:
+        raise ValueError(
+            f"{name}: sized program verifies at "
+            f"{report.worst_case_instructions} instructions, "
+            f"expected exactly {budget}")
     return bytecode
 
 

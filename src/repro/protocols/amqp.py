@@ -93,6 +93,8 @@ class AmqpSpec(ProtocolSpec):
         if class_id != CLASS_BASIC:
             return None
         if method_id in (METHOD_PUBLISH, METHOD_DELIVER):
+            if len(body) < 13:
+                return None  # publish/deliver payload truncated
             delivery_tag, queue_len = struct.unpack(">QB", body[4:13])
             queue = body[13:13 + queue_len].decode("utf-8", errors="replace")
             operation = ("basic.publish" if method_id == METHOD_PUBLISH

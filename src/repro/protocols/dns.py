@@ -83,7 +83,7 @@ def decode_address(payload: bytes) -> Optional[str]:
         offset += 10
         octets = payload[offset:offset + rdlength]
         return ".".join(str(b) for b in octets)
-    except Exception:  # noqa: BLE001
+    except (ValueError, IndexError, struct.error):
         return None
 
 
@@ -107,8 +107,8 @@ class DnsSpec(ProtocolSpec):
         try:
             _domain, offset = _decode_qname(payload, 12)
             qtype, qclass = struct.unpack(">HH", payload[offset:offset + 4])
-        except Exception:  # noqa: BLE001 - malformed question section
-            return False
+        except (ValueError, IndexError, struct.error, UnicodeDecodeError):
+            return False  # malformed question section
         return qclass == 1 and 1 <= qtype <= 255
 
     def parse(self, payload: bytes) -> Optional[ParsedMessage]:
@@ -119,7 +119,7 @@ class DnsSpec(ProtocolSpec):
             txn_id, flags, qdcount = struct.unpack(">HHH", payload[:6])
             domain, offset = _decode_qname(payload, 12)
             qtype, _qclass = struct.unpack(">HH", payload[offset:offset + 4])
-        except Exception:  # noqa: BLE001
+        except (ValueError, IndexError, struct.error, UnicodeDecodeError):
             return None
         is_response = bool(flags & 0x8000)
         rcode = flags & 0xF

@@ -87,8 +87,8 @@ class Http1Spec(ProtocolSpec):
         try:
             head, _, _body = payload.partition(b"\r\n\r\n")
             lines = head.decode("ascii", errors="replace").split(_CRLF)
-        except Exception:  # noqa: BLE001 - malformed payload
-            return None
+        except (ValueError, IndexError, UnicodeDecodeError):
+            return None  # malformed payload
         if not lines or not lines[0]:
             return None
         start = lines[0]

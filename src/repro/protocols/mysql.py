@@ -104,7 +104,10 @@ class MysqlSpec(ProtocolSpec):
             )
         if seq >= 1:
             if body[0] == ERR_HEADER:
-                code = struct.unpack("<H", body[1:3])[0]
+                # A self-consistent packet can still truncate the ERR
+                # code (length field counts only what is really there).
+                code = (struct.unpack("<H", body[1:3])[0]
+                        if len(body) >= 3 else None)
                 return ParsedMessage(
                     protocol=self.name,
                     msg_type=MessageType.RESPONSE,

@@ -3,7 +3,16 @@
 The agent parses payloads captured from arbitrary processes; a malformed
 (or adversarial) payload must never crash the pipeline — parsers return
 None or a message, never raise.
+
+The dissector registry is cross-checked against the static-analysis
+framework (``tools.analyze``): every ``ProtocolSpec`` subclass the
+dissector-safety checker discovers must be deployed in ``DEFAULT_SPECS``
+and must claim at least one valid sample here, so a new protocol cannot
+ship unfuzzed or unchecked.
 """
+
+import sys
+from pathlib import Path
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -12,6 +21,10 @@ from repro.protocols import DEFAULT_SPECS, ProtocolInferenceEngine
 from repro.protocols import amqp, dns, dubbo, grpc, http1, http2, kafka
 from repro.protocols import mqtt, mysql, redis, tls
 from repro.protocols.base import MessageType, ParsedMessage
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
 VALID_SAMPLES = [
     http1.encode_request("GET", "/x"),
@@ -36,6 +49,42 @@ VALID_SAMPLES = [
     grpc.encode_response(1),
     tls.encrypt(b"x"),
 ]
+
+
+def test_fuzz_registry_matches_checker_registry():
+    """Every dissector the static checker analyzes is deployed here.
+
+    ``spec_classes`` is the same discovery the dissector-safety checker
+    runs over; if it finds a ``ProtocolSpec`` subclass that is not in
+    ``DEFAULT_SPECS``, the fuzz tests below would silently skip it.
+    """
+    from tools.analyze.checkers.dissector_safety import spec_classes
+    from tools.analyze.project import Project
+
+    project = Project(REPO_ROOT / "src" / "repro")
+    discovered = {cls.name for cls in spec_classes(project)}
+    deployed = {type(spec).__name__ for spec in DEFAULT_SPECS}
+    assert discovered, "checker registry found no dissectors"
+    assert discovered == deployed, (
+        f"undeployed dissectors: {discovered - deployed}; "
+        f"unchecked specs: {deployed - discovered}")
+
+
+def test_every_spec_claims_a_valid_sample():
+    """Each deployed dissector recognizes at least one sample, so the
+    truncation/bitflip/concatenation tests exercise its parse path."""
+    unclaimed = [spec.name for spec in DEFAULT_SPECS
+                 if not any(spec.infer(sample) for sample in VALID_SAMPLES)]
+    assert not unclaimed, unclaimed
+
+
+def test_every_spec_parses_its_own_sample():
+    """Each dissector fully parses at least one sample it claims —
+    infer-only coverage would leave the parse body unfuzzed."""
+    for spec in DEFAULT_SPECS:
+        parsed = [spec.parse(sample) for sample in VALID_SAMPLES
+                  if spec.infer(sample)]
+        assert any(isinstance(m, ParsedMessage) for m in parsed), spec.name
 
 
 @given(payload=st.binary(min_size=0, max_size=300))
@@ -102,6 +151,27 @@ def test_at_most_reasonable_specs_claim_random_bytes(payload):
     claimants = [spec.name for spec in DEFAULT_SPECS
                  if spec.infer(payload)]
     assert len(claimants) <= 2, claimants
+
+
+def test_mysql_truncated_err_packet_returns_message():
+    """Regression: an ERR packet whose header promises more bytes than
+    the body carries must not raise struct.error (found by the
+    dissector-safety checker)."""
+    result = mysql.MysqlSpec().parse(b"\x01\x00\x00\x01\xff")
+    assert isinstance(result, ParsedMessage)
+    assert result.status == "error"
+    assert result.status_code is None
+
+
+def test_amqp_truncated_publish_body_returns_none():
+    """Regression: a method frame claiming basic.publish with a body too
+    short for the delivery-tag/queue-length fields must return None, not
+    raise (found by the dissector-safety checker)."""
+    import struct
+    body = struct.pack(">HH", amqp.CLASS_BASIC, amqp.METHOD_PUBLISH) + b"\x00" * 8
+    frame = (struct.pack(">BHI", amqp.FRAME_METHOD, 1, len(body))
+             + body + bytes([amqp.FRAME_END]))
+    assert amqp.AmqpSpec().parse(frame) is None
 
 
 @given(sample=st.sampled_from(VALID_SAMPLES))

@@ -1,0 +1,78 @@
+"""``tools.analyze`` — the repo's static-analysis framework.
+
+Multi-pass pipeline (DESIGN.md §10):
+
+1. **Project model** (:mod:`tools.analyze.project`) — parse every
+   module under the root, build symbol tables, the import graph, and an
+   approximate call graph.
+2. **Per-function analyses** (:mod:`tools.analyze.cfg`,
+   :mod:`tools.analyze.dataflow`) — CFGs with condition-annotated
+   edges, reaching definitions, and the guard-fact abstract domain.
+3. **Checkers** (:mod:`tools.analyze.checkers`) — plugins over the
+   model producing :class:`~tools.analyze.findings.Finding` objects.
+4. **Reporting** (:mod:`tools.analyze.findings`) — suppression
+   (``# lint: ok``), the committed baseline, and the JSON report CI
+   uploads.
+
+Run it with ``python -m tools.analyze src/repro``.
+"""
+
+from __future__ import annotations
+
+import time  # lint: ok — wall-clock timing of the analyzer itself
+from pathlib import Path
+from typing import Optional
+
+from tools.analyze.checkers import iter_checkers
+from tools.analyze.findings import Baseline, Finding, Report, suppressed
+from tools.analyze.project import Project
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_ROOT = REPO_ROOT / "src" / "repro"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def run_analysis(root: Path = DEFAULT_ROOT,
+                 checker_names: Optional[list[str]] = None,
+                 baseline_path: Optional[Path] = DEFAULT_BASELINE,
+                 repo_root: Optional[Path] = REPO_ROOT) -> Report:
+    """Run the framework over *root* and return the report.
+
+    ``report.findings`` holds the new (unbaselined, unsuppressed)
+    findings; ``report.exit_code`` is nonzero iff any exist.
+    """
+    started = time.perf_counter()
+    root = Path(root)
+    if repo_root is not None:
+        try:
+            root.relative_to(repo_root)
+        except ValueError:
+            repo_root = None  # analyzing a tree outside the repo
+    project = Project(root, repo_root=repo_root)
+    checkers = list(iter_checkers(checker_names))
+    raw: list[Finding] = []
+    for checker in checkers:
+        raw.extend(checker.run(project))
+    source_map = {module.rel_display(repo_root): module.source_lines
+                  for module in project.modules.values()}
+    kept: list[Finding] = []
+    suppressed_count = 0
+    for finding in raw:
+        lines = source_map.get(finding.path)
+        if lines is not None and suppressed(lines, finding.line):
+            suppressed_count += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    baseline = (Baseline.load(baseline_path)
+                if baseline_path is not None else Baseline())
+    new, baselined = baseline.split(kept)
+    return Report(
+        root=str(root),
+        checkers=[checker.name for checker in checkers],
+        findings=new,
+        baselined=baselined,
+        suppressed_count=suppressed_count,
+        modules_analyzed=len(project.modules),
+        elapsed_s=time.perf_counter() - started,
+    )

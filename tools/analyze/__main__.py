@@ -1,0 +1,80 @@
+"""CLI: ``python -m tools.analyze [root] [options]``.
+
+Exit codes: 0 — no unbaselined findings; 1 — findings; 2 — bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.analyze import (
+    DEFAULT_BASELINE, DEFAULT_ROOT, run_analysis)
+from tools.analyze.checkers import REGISTRY, load_builtin_checkers
+from tools.analyze.findings import Baseline
+
+
+def main(argv: list[str]) -> int:
+    load_builtin_checkers()
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="Static analysis over the repro package.")
+    parser.add_argument("root", nargs="?", default=str(DEFAULT_ROOT),
+                        help="package tree to analyze (default: "
+                             "src/repro)")
+    parser.add_argument("--checkers", metavar="NAMES",
+                        help="comma-separated subset to run "
+                             f"(known: {', '.join(sorted(REGISTRY))})")
+    parser.add_argument("--json", metavar="PATH", type=Path,
+                        help="write the full JSON report here")
+    parser.add_argument("--baseline", metavar="PATH", type=Path,
+                        default=DEFAULT_BASELINE,
+                        help="baseline file (default: committed "
+                             "tools/analyze/baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline; report everything")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept current findings into --baseline "
+                             "and exit 0")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"analyze: no such directory: {root}", file=sys.stderr)
+        return 2
+    checker_names = (args.checkers.split(",") if args.checkers
+                     else None)
+    try:
+        report = run_analysis(
+            root=root, checker_names=checker_names,
+            baseline_path=None if args.no_baseline else args.baseline)
+    except KeyError as exc:
+        print(f"analyze: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        baseline = Baseline.load(args.baseline)
+        baseline.fingerprints.update(
+            finding.fingerprint() for finding in report.findings)
+        baseline.save(args.baseline)
+        print(f"analyze: baselined {len(report.findings)} finding(s) "
+              f"into {args.baseline}")
+        return 0
+
+    for finding in report.findings:
+        print(finding)
+    if args.json is not None:
+        report.write_json(args.json)
+    summary = (f"analyze: {len(report.findings)} finding(s), "
+               f"{len(report.baselined)} baselined, "
+               f"{report.suppressed_count} suppressed — "
+               f"{report.modules_analyzed} modules, "
+               f"{len(report.checkers)} checkers, "
+               f"{report.elapsed_s:.2f}s")
+    print(summary, file=sys.stderr if report.findings else sys.stdout)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

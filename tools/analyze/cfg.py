@@ -1,0 +1,244 @@
+"""Per-function control-flow graphs.
+
+Structural CFG construction over the Python AST: one :class:`Block` is
+a maximal straight-line statement run; edges carry the branch condition
+they were taken under (``cond``/``branch``) so flow analyses can turn
+``if len(payload) < 12: return None`` into a dominating guard fact on
+the fall-through path.
+
+Loops are recorded during construction (:class:`LoopInfo`), giving
+checkers the header, the body block set, and the back-edge sources
+without a separate dominator computation.  ``try`` bodies get
+conservative edges from every body block to every handler entry —
+an exception may occur anywhere — which makes facts at handler entries
+the meet over the whole protected region.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Edge:
+    """One CFG edge, optionally annotated with a branch condition."""
+
+    target: "Block"
+    cond: Optional[ast.expr] = None    #: test expression, when a branch edge
+    branch: Optional[bool] = None      #: True/False arm of ``cond``
+
+
+class Block:
+    """A straight-line run of statements."""
+
+    __slots__ = ("id", "stmts", "edges")
+
+    def __init__(self, bid: int):
+        self.id = bid
+        self.stmts: list[ast.stmt] = []
+        self.edges: list[Edge] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Block {self.id} stmts={len(self.stmts)}>"
+
+
+@dataclass
+class LoopInfo:
+    """One ``while``/``for`` loop's structure."""
+
+    node: ast.stmt                 #: the While or For AST node
+    header: Block
+    body_blocks: set[int] = field(default_factory=set)
+
+    @property
+    def is_while(self) -> bool:
+        return isinstance(self.node, ast.While)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self.loops: list[LoopInfo] = []
+        end = self._build_body(func.body, self.entry,
+                               loop_stack=[], finally_stack=[])
+        if end is not None:
+            end.edges.append(Edge(self.exit))
+
+    # -- construction ------------------------------------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _build_body(self, stmts: list[ast.stmt], current: Optional[Block],
+                    loop_stack: list[tuple[Block, Block]],
+                    finally_stack: list[list[ast.stmt]]
+                    ) -> Optional[Block]:
+        """Append *stmts* starting at *current*; returns the open block
+        at the end, or None when every path terminated."""
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after return/raise; ignore.
+                return None
+            if isinstance(stmt, ast.If):
+                current = self._build_if(stmt, current, loop_stack,
+                                         finally_stack)
+            elif isinstance(stmt, ast.While):
+                current = self._build_while(stmt, current, loop_stack,
+                                            finally_stack)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                current = self._build_for(stmt, current, loop_stack,
+                                          finally_stack)
+            elif isinstance(stmt, ast.Try):
+                current = self._build_try(stmt, current, loop_stack,
+                                          finally_stack)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current.stmts.append(stmt)
+                current = self._build_body(stmt.body, current, loop_stack,
+                                           finally_stack)
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                current.stmts.append(stmt)
+                current.edges.append(Edge(self.exit))
+                current = None
+            elif isinstance(stmt, ast.Break):
+                current.stmts.append(stmt)
+                if loop_stack:
+                    current.edges.append(Edge(loop_stack[-1][1]))
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                current.stmts.append(stmt)
+                if loop_stack:
+                    current.edges.append(Edge(loop_stack[-1][0]))
+                current = None
+            else:
+                current.stmts.append(stmt)
+        return current
+
+    def _build_if(self, stmt: ast.If, current: Block,
+                  loop_stack, finally_stack) -> Optional[Block]:
+        then_entry = self._new_block()
+        current.edges.append(Edge(then_entry, cond=stmt.test, branch=True))
+        then_end = self._build_body(stmt.body, then_entry, loop_stack,
+                                    finally_stack)
+        if stmt.orelse:
+            else_entry = self._new_block()
+            current.edges.append(
+                Edge(else_entry, cond=stmt.test, branch=False))
+            else_end = self._build_body(stmt.orelse, else_entry,
+                                        loop_stack, finally_stack)
+        else:
+            else_end = None
+        join: Optional[Block] = None
+        if then_end is not None or else_end is not None or not stmt.orelse:
+            join = self._new_block()
+            if then_end is not None:
+                then_end.edges.append(Edge(join))
+            if stmt.orelse:
+                if else_end is not None:
+                    else_end.edges.append(Edge(join))
+            else:
+                current.edges.append(Edge(join, cond=stmt.test,
+                                          branch=False))
+        return join
+
+    def _build_while(self, stmt: ast.While, current: Block,
+                     loop_stack, finally_stack) -> Optional[Block]:
+        header = self._new_block()
+        header.stmts.append(stmt)   # marker: condition evaluation
+        current.edges.append(Edge(header))
+        after = self._new_block()
+        body_entry = self._new_block()
+        infinite = (isinstance(stmt.test, ast.Constant)
+                    and stmt.test.value is True)
+        header.edges.append(Edge(body_entry, cond=stmt.test, branch=True))
+        if not infinite:
+            header.edges.append(Edge(after, cond=stmt.test, branch=False))
+        first_body_block = len(self.blocks) - 1
+        body_end = self._build_body(stmt.body, body_entry,
+                                    loop_stack + [(header, after)],
+                                    finally_stack)
+        if body_end is not None:
+            body_end.edges.append(Edge(header))
+        loop = LoopInfo(node=stmt, header=header)
+        loop.body_blocks = {b.id for b in self.blocks[first_body_block:]
+                            if b.id != after.id}
+        self.loops.append(loop)
+        if stmt.orelse:
+            after = self._build_body(stmt.orelse, after, loop_stack,
+                                     finally_stack) or self._new_block()
+        return after
+
+    def _build_for(self, stmt: ast.For | ast.AsyncFor, current: Block,
+                   loop_stack, finally_stack) -> Optional[Block]:
+        header = self._new_block()
+        header.stmts.append(stmt)   # marker: iterator advance + bind
+        current.edges.append(Edge(header))
+        after = self._new_block()
+        body_entry = self._new_block()
+        header.edges.append(Edge(body_entry))
+        header.edges.append(Edge(after))
+        first_body_block = len(self.blocks) - 1
+        body_end = self._build_body(stmt.body, body_entry,
+                                    loop_stack + [(header, after)],
+                                    finally_stack)
+        if body_end is not None:
+            body_end.edges.append(Edge(header))
+        loop = LoopInfo(node=stmt, header=header)
+        loop.body_blocks = {b.id for b in self.blocks[first_body_block:]
+                            if b.id != after.id}
+        self.loops.append(loop)
+        if stmt.orelse:
+            after = self._build_body(stmt.orelse, after, loop_stack,
+                                     finally_stack) or self._new_block()
+        return after
+
+    def _build_try(self, stmt: ast.Try, current: Block,
+                   loop_stack, finally_stack) -> Optional[Block]:
+        body_entry = self._new_block()
+        current.edges.append(Edge(body_entry))
+        first_body_block = body_entry.id
+        body_end = self._build_body(stmt.body, body_entry, loop_stack,
+                                    finally_stack)
+        body_blocks = [b for b in self.blocks[first_body_block:]
+                       if b.id >= first_body_block]
+        join = self._new_block()
+        # An exception may surface anywhere in the protected region:
+        # every body block feeds every handler entry.
+        for handler in stmt.handlers:
+            handler_entry = self._new_block()
+            current.edges.append(Edge(handler_entry))
+            for block in body_blocks:
+                block.edges.append(Edge(handler_entry))
+            handler_end = self._build_body(handler.body, handler_entry,
+                                           loop_stack, finally_stack)
+            if handler_end is not None:
+                handler_end.edges.append(Edge(join))
+        if body_end is not None:
+            if stmt.orelse:
+                body_end = self._build_body(stmt.orelse, body_end,
+                                            loop_stack, finally_stack)
+            if body_end is not None:
+                body_end.edges.append(Edge(join))
+        if stmt.finalbody:
+            join = self._build_body(stmt.finalbody, join, loop_stack,
+                                    finally_stack) or self._new_block()
+        return join
+
+    # -- queries -----------------------------------------------------------
+
+    def predecessors(self) -> dict[int, list[tuple[Block, Edge]]]:
+        """block id → [(pred block, edge into this block)]."""
+        preds: dict[int, list[tuple[Block, Edge]]] = {
+            b.id: [] for b in self.blocks}
+        for block in self.blocks:
+            for edge in block.edges:
+                preds[edge.target.id].append((block, edge))
+        return preds

@@ -1,0 +1,68 @@
+"""Checker plugin API and registry.
+
+A checker is a class with a ``name``, a one-line ``description``, and a
+``run(project)`` method yielding :class:`~tools.analyze.findings.Finding`
+objects.  Registration is by decorator::
+
+    @register
+    class MyChecker(Checker):
+        name = "my-checker"
+        def run(self, project):
+            yield Finding(...)
+
+The engine (:func:`tools.analyze.run_analysis`) imports the built-in
+checker modules via :func:`load_builtin_checkers`, instantiates every
+registered class (optionally filtered by name), and applies suppression
+and the baseline afterwards — checkers emit every raw hit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Type
+
+from tools.analyze.findings import Finding
+from tools.analyze.project import Project
+
+
+class Checker:
+    """Base class for analysis checkers."""
+
+    #: unique checker id, used in findings, CLI filters, and reports.
+    name: str = ""
+    description: str = ""
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+#: name → checker class, in registration order.
+REGISTRY: dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} has no checker name")
+    if cls.name in REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    REGISTRY[cls.name] = cls
+    return cls
+
+
+def load_builtin_checkers() -> None:
+    """Import the built-in checker modules, populating the registry."""
+    from tools.analyze.checkers import (  # noqa: F401
+        confinement, discipline, dissector_safety, hot_path)
+
+
+def iter_checkers(names: Optional[list[str]] = None) -> Iterator[Checker]:
+    """Instantiate registered checkers, optionally only *names*."""
+    load_builtin_checkers()
+    if names is None:
+        for cls in REGISTRY.values():
+            yield cls()
+        return
+    for name in names:
+        if name not in REGISTRY:
+            known = ", ".join(sorted(REGISTRY))
+            raise KeyError(f"unknown checker {name!r} (known: {known})")
+        yield REGISTRY[name]()

@@ -1,0 +1,227 @@
+"""Hot-path discipline checker.
+
+The ingest pipeline — agent event dispatch, ``SpanStore.insert``, and
+``TraceGraphIndex`` maintenance — runs once per traced message, so
+per-event waste there is a span-rate regression (the exact class of
+problem an earlier optimization pass hand-fixed: un-hoisted attribute
+loads, per-event temporaries, O(n) rescans inside O(n) loops).  This
+checker walks the call-graph closure of the hot seeds and flags, inside
+loop bodies only:
+
+* ``hp-alloc-in-loop`` (warn) — constructor calls (``list()``,
+  ``dict()``, ``set()``, ``tuple()``, ``frozenset()``, ``sorted()``),
+  comprehensions, and f-strings.  Literal displays (``{a, b}``) are
+  allowed — the store's posting-promotion path allocates one set on the
+  rare first collision, which is the design, not waste.  Allocations
+  inside ``raise`` statements are error paths and exempt.
+* ``hp-attr-in-loop`` (warn) — a ``self``-rooted attribute chain of
+  depth ≥ 2 (``self.a.b``), or the same ``self.x`` loaded twice in one
+  loop body: both are method-call/dict-lookup work the surrounding
+  code already hoists into locals.
+* ``hp-rescan-in-loop`` (warn) — ``sorted(...)``, ``.sort()``,
+  ``.index()``, or ``insort`` inside a loop: an O(n) pass per event.
+
+Dynamic dispatch hides the agent's handler table from the call graph,
+so the seed list names the handler methods explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from tools.analyze.checkers import Checker, register
+from tools.analyze.findings import Finding
+from tools.analyze.project import FunctionInfo, Project
+
+CHECKER_NAME = "hot-path"
+
+#: class name → method-name predicates seeding the hot closure.
+HOT_SEEDS: dict[str, tuple[str, ...]] = {
+    "SpanStore": ("insert", "insert_many"),
+    "TraceGraphIndex": ("add_span", "add", "link", "link_batch", "find"),
+    "DeepFlowAgent": ("poll", "_process_event", "_dispatch_slow",
+                      "_process_coroutine_event", "_process_close_event",
+                      "_process_uprobe_record", "_process_syscall_record",
+                      "_ingest_message", "_emit_session"),
+}
+
+ALLOC_CALLS = {"list", "dict", "set", "tuple", "frozenset", "sorted"}
+COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
+                  ast.GeneratorExp)
+RESCAN_METHODS = {"sort", "index"}
+
+
+def hot_functions(project: Project) -> dict[str, FunctionInfo]:
+    """qualname → function for the hot-seed call-graph closure."""
+    seeds: set[str] = set()
+    for cls in project.classes.values():
+        wanted = HOT_SEEDS.get(cls.name)
+        if not wanted:
+            continue
+        for method_name in wanted:
+            method = cls.methods.get(method_name)
+            if method is not None:
+                seeds.add(method.qualname)
+    closure = project.reachable_from(seeds)
+    return {q: project.functions[q] for q in closure
+            if q in project.functions}
+
+
+def _loop_bodies(func_node: ast.AST) -> Iterator[list[ast.stmt]]:
+    """Every loop body statement list in *func_node*, skipping nested
+    function definitions (they have their own cost model)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            yield node.body
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _self_chain(node: ast.Attribute) -> Optional[tuple[str, ...]]:
+    """("self", "a", "b") for a self-rooted load chain, else None."""
+    parts: list[str] = [node.attr]
+    obj = node.value
+    while isinstance(obj, ast.Attribute):
+        parts.append(obj.attr)
+        obj = obj.value
+    if isinstance(obj, ast.Name) and obj.id == "self":
+        parts.append("self")
+        return tuple(reversed(parts))
+    return None
+
+
+def _walk_body(body: list[ast.stmt],
+               skip_raise: bool = True) -> Iterator[ast.AST]:
+    """Walk expressions in *body* without descending into nested loops'
+    own reporting scope problems — nested loops are revisited by
+    :func:`_loop_bodies`, but their nodes still execute inside this
+    loop, so they are included here; nested functions and ``raise``
+    payloads are not."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if skip_raise and isinstance(node, ast.Raise):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class HotPathChecker(Checker):
+    name = CHECKER_NAME
+    description = ("no per-event allocations, repeated attribute loads, "
+                   "or O(n) rescans in ingest-path loops")
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for qualname, info in sorted(hot_functions(project).items()):
+            path = info.module.rel_display(project.repo_root)
+            reported: set[int] = set()
+            for body in _loop_bodies(info.node):
+                yield from self._check_body(body, path, qualname,
+                                            reported)
+
+    def _check_body(self, body: list[ast.stmt], path: str,
+                    qualname: str,
+                    reported: set[int]) -> Iterator[Finding]:
+        self_loads: dict[tuple[str, ...], list[ast.Attribute]] = {}
+        for node in _walk_body(body):
+            if id(node) in reported:
+                continue
+            if isinstance(node, ast.Call):
+                finding = self._check_call(node, path, qualname)
+                if finding is not None:
+                    reported.add(id(node))
+                    yield finding
+            elif isinstance(node, COMPREHENSIONS + (ast.JoinedStr,)):
+                reported.add(id(node))
+                kind = ("f-string" if isinstance(node, ast.JoinedStr)
+                        else "comprehension")
+                yield Finding(
+                    path=path, line=node.lineno, checker=self.name,
+                    rule="hp-alloc-in-loop", severity="warn",
+                    function=qualname,
+                    message=(f"{kind} allocates per loop iteration on "
+                             f"the hot path — build outside the loop"))
+            elif isinstance(node, ast.Attribute) \
+                    and isinstance(node.ctx, ast.Load):
+                chain = _self_chain(node)
+                if chain is None:
+                    continue
+                if len(chain) > 2 and id(node) not in reported:
+                    reported.add(id(node))
+                    yield Finding(
+                        path=path, line=node.lineno, checker=self.name,
+                        rule="hp-attr-in-loop", severity="warn",
+                        function=qualname,
+                        message=(f"attribute chain "
+                                 f"{'.'.join(chain)} inside a hot loop "
+                                 f"— hoist it into a local before the "
+                                 f"loop"))
+                elif len(chain) == 2:
+                    self_loads.setdefault(chain, []).append(node)
+        for chain, nodes in sorted(self_loads.items()):
+            if len(nodes) < 2:
+                continue
+            first = min(nodes, key=lambda n: n.lineno)
+            if id(first) in reported:
+                continue
+            reported.add(id(first))
+            for node in nodes:
+                reported.add(id(node))
+            yield Finding(
+                path=path, line=first.lineno, checker=self.name,
+                rule="hp-attr-in-loop", severity="warn",
+                function=qualname,
+                message=(f"{'.'.join(chain)} loaded {len(nodes)}× in one "
+                         f"hot loop body — hoist it into a local"))
+
+    def _check_call(self, node: ast.Call, path: str,
+                    qualname: str) -> Optional[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                return Finding(
+                    path=path, line=node.lineno, checker=self.name,
+                    rule="hp-rescan-in-loop", severity="warn",
+                    function=qualname,
+                    message="sorted() inside a hot loop — an O(n log n) "
+                            "rescan per event; maintain order "
+                            "incrementally")
+            if func.id == "insort":
+                return Finding(
+                    path=path, line=node.lineno, checker=self.name,
+                    rule="hp-rescan-in-loop", severity="warn",
+                    function=qualname,
+                    message="insort() inside a hot loop — O(n) list "
+                            "shifting per event")
+            if func.id in ALLOC_CALLS:
+                return Finding(
+                    path=path, line=node.lineno, checker=self.name,
+                    rule="hp-alloc-in-loop", severity="warn",
+                    function=qualname,
+                    message=(f"{func.id}() allocates per loop iteration "
+                             f"on the hot path — reuse or hoist it"))
+        elif isinstance(func, ast.Attribute):
+            if func.attr in RESCAN_METHODS:
+                return Finding(
+                    path=path, line=node.lineno, checker=self.name,
+                    rule="hp-rescan-in-loop", severity="warn",
+                    function=qualname,
+                    message=(f".{func.attr}() inside a hot loop — an "
+                             f"O(n) rescan per event"))
+            if func.attr == "insort":
+                return Finding(
+                    path=path, line=node.lineno, checker=self.name,
+                    rule="hp-rescan-in-loop", severity="warn",
+                    function=qualname,
+                    message="insort inside a hot loop — O(n) list "
+                            "shifting per event")
+        return None

@@ -1,0 +1,498 @@
+"""Intraprocedural dataflow: worklist solver + two built-in domains.
+
+The solver (:func:`solve_forward`) runs any :class:`ForwardAnalysis`
+to a fixpoint over a :class:`~tools.analyze.cfg.CFG`.  Two domains ship
+with the framework:
+
+* :class:`ReachingDefs` — name → set of assignment sites; checkers use
+  the *unique definition* query to substitute a variable's defining
+  expression into symbolic comparisons (``offset = 10 + client_len``).
+* :class:`GuardAnalysis` — the abstract domain behind dissector safety:
+  sets of *guard facts* ``len(x) >= <linear expr>`` and ``name >= 0``,
+  generated from branch conditions and slice derivations, killed by
+  reassignment, met by set intersection.
+
+Linear symbolic expressions (:class:`Lin`) are ``const + Σ coeff·name``
+with a tiny normalizer over ``+``/``-``/names/ints.  They are exactly
+expressive enough for wire-format arithmetic (``offset + 9``,
+``10 + client_len + 2``) without becoming a real SMT problem.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+from tools.analyze.cfg import CFG, Block, Edge
+
+# ---------------------------------------------------------------------------
+# Linear symbolic expressions
+
+
+@dataclass(frozen=True)
+class Lin:
+    """``const + Σ coeff·name`` over integer-valued names."""
+
+    const: int = 0
+    terms: frozenset[tuple[str, int]] = frozenset()
+
+    def __add__(self, other: "Lin") -> "Lin":
+        merged = dict(self.terms)
+        for name, coeff in other.terms:
+            merged[name] = merged.get(name, 0) + coeff
+        return Lin(self.const + other.const,
+                   frozenset((n, c) for n, c in merged.items() if c))
+
+    def __neg__(self) -> "Lin":
+        return Lin(-self.const,
+                   frozenset((n, -c) for n, c in self.terms))
+
+    def __sub__(self, other: "Lin") -> "Lin":
+        return self + (-other)
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def names(self) -> set[str]:
+        return {n for n, _ in self.terms}
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        parts = [str(self.const)] if self.const or not self.terms else []
+        parts += [f"{c}*{n}" if c != 1 else n
+                  for n, c in sorted(self.terms)]
+        return " + ".join(parts) or "0"
+
+
+def lin_of(node: ast.expr) -> Optional[Lin]:
+    """Normalize an expression to a :class:`Lin`, or None."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, int) and not isinstance(node.value, bool):
+            return Lin(const=node.value)
+        return None
+    if isinstance(node, ast.Name):
+        return Lin(terms=frozenset({(node.id, 1)}))
+    if isinstance(node, ast.BinOp):
+        left, right = lin_of(node.left), lin_of(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = lin_of(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def len_arg(node: ast.expr) -> Optional[str]:
+    """The name ``x`` when *node* is ``len(x)``, else None."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "len" and len(node.args) == 1 \
+            and not node.keywords and isinstance(node.args[0], ast.Name):
+        return node.args[0].id
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Guard facts
+
+#: Fact kinds: ("len_ge", base, Lin) — len(base) >= Lin;
+#:             ("ge0", name)         — name >= 0.
+Fact = tuple
+
+
+def _cmp_facts(left: ast.expr, op: ast.cmpop,
+               right: ast.expr) -> list[Fact]:
+    """Facts implied by ``left <op> right`` being *true*."""
+    facts: list[Fact] = []
+    lbase, rbase = len_arg(left), len_arg(right)
+    llin, rlin = lin_of(left), lin_of(right)
+    # len(x) >= E  /  len(x) > E  /  len(x) == E
+    if lbase is not None and rlin is not None:
+        if isinstance(op, (ast.GtE, ast.Eq)):
+            facts.append(("len_ge", lbase, rlin))
+        elif isinstance(op, ast.Gt):
+            facts.append(("len_ge", lbase, rlin + Lin(1)))
+    # E <= len(x)  /  E < len(x)  /  E == len(x)
+    if rbase is not None and llin is not None:
+        if isinstance(op, (ast.LtE, ast.Eq)):
+            facts.append(("len_ge", rbase, llin))
+        elif isinstance(op, ast.Lt):
+            facts.append(("len_ge", rbase, llin + Lin(1)))
+    # len(x) - E <op> C rearrangements are handled by lin_of returning
+    # None for len() inside BinOp; normalize the common written form
+    # ``len(x) - offset < 9`` explicitly:
+    if isinstance(left, ast.BinOp) and isinstance(left.op, ast.Sub):
+        inner_base = len_arg(left.left)
+        sub = lin_of(left.right)
+        if inner_base is not None and sub is not None \
+                and rlin is not None:
+            # len(x) - S <op> R
+            if isinstance(op, (ast.GtE, ast.Eq)):
+                facts.append(("len_ge", inner_base, rlin + sub))
+            elif isinstance(op, ast.Gt):
+                facts.append(("len_ge", inner_base, rlin + sub + Lin(1)))
+    # name >= 0 facts from chained range checks (0 <= name).
+    if llin is not None and llin.is_const and isinstance(right, ast.Name):
+        if isinstance(op, (ast.LtE, ast.Lt)) and llin.const >= 0:
+            facts.append(("ge0", right.id))
+    if rlin is not None and rlin.is_const and isinstance(left, ast.Name):
+        if isinstance(op, (ast.GtE, ast.Gt)) and rlin.const >= 0:
+            facts.append(("ge0", left.id))
+    return facts
+
+
+def _negate_cmp(op: ast.cmpop) -> Optional[ast.cmpop]:
+    table = {ast.Lt: ast.GtE(), ast.LtE: ast.Gt(), ast.Gt: ast.LtE(),
+             ast.GtE: ast.Lt(), ast.Eq: ast.NotEq(), ast.NotEq: ast.Eq()}
+    for src, dst in table.items():
+        if isinstance(op, src):
+            return dst
+    return None
+
+
+def facts_from_cond(cond: ast.expr, branch: bool) -> set[Fact]:
+    """Guard facts known when *cond* evaluated to *branch*."""
+    facts: set[Fact] = set()
+    if isinstance(cond, ast.Compare):
+        # Chained comparisons decompose into pairwise conjuncts — all
+        # hold on the true branch; on the false branch only a single
+        # comparison can be negated soundly.
+        pairs = list(zip([cond.left] + cond.comparators[:-1],
+                         cond.ops, cond.comparators))
+        if branch:
+            for left, op, right in pairs:
+                facts.update(_cmp_facts(left, op, right))
+        elif len(pairs) == 1:
+            left, op, right = pairs[0]
+            negated = _negate_cmp(op)
+            if negated is not None:
+                facts.update(_cmp_facts(left, negated, right))
+    elif isinstance(cond, ast.BoolOp):
+        if branch and isinstance(cond.op, ast.And):
+            for value in cond.values:
+                facts.update(facts_from_cond(value, True))
+        elif not branch and isinstance(cond.op, ast.Or):
+            # not (A or B)  ⇒  ¬A ∧ ¬B
+            for value in cond.values:
+                facts.update(facts_from_cond(value, False))
+    elif isinstance(cond, ast.UnaryOp) and isinstance(cond.op, ast.Not):
+        facts.update(facts_from_cond(cond.operand, not branch))
+    return facts
+
+
+def kills_of_fact(fact: Fact) -> set[str]:
+    """Names whose reassignment invalidates *fact*."""
+    if fact[0] == "len_ge":
+        return {fact[1]} | fact[2].names()
+    return {fact[1]}
+
+
+# ---------------------------------------------------------------------------
+# Generic forward solver
+
+
+class ForwardAnalysis:
+    """Interface for a forward dataflow over block-entry states."""
+
+    def initial(self) -> object:
+        raise NotImplementedError
+
+    def unreachable(self) -> object:
+        """State for blocks with no processed predecessor yet (⊤)."""
+        raise NotImplementedError
+
+    def meet(self, a: object, b: object) -> object:
+        raise NotImplementedError
+
+    def transfer_stmt(self, stmt: ast.stmt, state: object) -> object:
+        raise NotImplementedError
+
+    def transfer_edge(self, edge: Edge, state: object) -> object:
+        return state
+
+
+def solve_forward(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, object]:
+    """Fixpoint block-entry states for *analysis* over *cfg*."""
+    entry_state: dict[int, object] = {}
+    entry_state[cfg.entry.id] = analysis.initial()
+    worklist: list[Block] = [cfg.entry]
+    iterations = 0
+    limit = 40 * max(1, len(cfg.blocks))
+    while worklist and iterations < limit:
+        iterations += 1
+        block = worklist.pop()
+        state = entry_state.get(block.id)
+        if state is None:
+            continue
+        for stmt in block.stmts:
+            state = analysis.transfer_stmt(stmt, state)
+        for edge in block.edges:
+            out = analysis.transfer_edge(edge, state)
+            target = edge.target
+            old = entry_state.get(target.id)
+            new = out if old is None else analysis.meet(old, out)
+            if old is None or new != old:
+                entry_state[target.id] = new
+                worklist.append(target)
+    return entry_state
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+
+
+class ReachingDefs:
+    """Flow-insensitive definition census with a unique-def query.
+
+    For symbolic substitution the solver-level precision is not needed:
+    a name is substitutable iff the function assigns it exactly once
+    and the defining expression is itself linear.  (Loop-carried names
+    fail the once test; conditionally-divergent names fail it too.)
+    """
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.defs: dict[str, list[ast.expr]] = {}
+        self.aug_targets: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._record(target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._record(node.target, node.value)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    self.aug_targets.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._record(node.target, None)
+            elif isinstance(node, (ast.withitem,)) \
+                    and node.optional_vars is not None:
+                self._record(node.optional_vars, None)
+
+    def _record(self, target: ast.expr, value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            self.defs.setdefault(target.id, []).append(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record(element, None if value is None else value)
+
+    def unique_def(self, name: str) -> Optional[ast.expr]:
+        """The sole defining expression of *name*, or None."""
+        if name in self.aug_targets:
+            return None
+        defs = self.defs.get(name)
+        if defs is not None and len(defs) == 1:
+            return defs[0]
+        return None
+
+    def substituted_lin(self, expr: ast.expr,
+                        depth: int = 3) -> Optional[Lin]:
+        """``lin_of`` with unique single-assignment names substituted."""
+        lin = lin_of(expr)
+        if lin is None or depth <= 0:
+            return lin
+        out = Lin(lin.const)
+        for name, coeff in lin.terms:
+            definition = self.unique_def(name)
+            sub = None
+            if definition is not None:
+                sub = self.substituted_lin(definition, depth - 1)
+            if sub is None:
+                out = out + Lin(terms=frozenset({(name, coeff)}))
+            else:
+                scaled = Lin(sub.const * coeff,
+                             frozenset((n, c * coeff)
+                                       for n, c in sub.terms))
+                out = out + scaled
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Guard analysis (the dissector-safety abstract domain)
+
+#: struct formats are unsigned unless they contain a signed code.
+_SIGNED_STRUCT_CODES = set("bhilq")
+
+
+def _unsigned_struct_fmt(fmt: str) -> bool:
+    return not any(ch in _SIGNED_STRUCT_CODES for ch in fmt)
+
+
+def nonneg_producer(value: Optional[ast.expr]) -> bool:
+    """Whether *value* provably yields a non-negative integer."""
+    if value is None:
+        return False
+    if isinstance(value, ast.Constant):
+        return isinstance(value.value, int) and value.value >= 0
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id == "len":
+            return True
+        if isinstance(func, ast.Attribute):
+            # int.from_bytes(...) is unsigned unless signed=True.
+            if func.attr == "from_bytes":
+                for kw in value.keywords:
+                    if kw.arg == "signed" and not (
+                            isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False):
+                        return False
+                return True
+            # struct.unpack with an all-unsigned format string.
+            if func.attr == "unpack" and value.args \
+                    and isinstance(value.args[0], ast.Constant) \
+                    and isinstance(value.args[0].value, str):
+                return _unsigned_struct_fmt(value.args[0].value)
+    if isinstance(value, ast.BinOp) and isinstance(
+            value.op, (ast.Add, ast.Mult, ast.BitAnd, ast.RShift,
+                       ast.BitOr, ast.LShift, ast.Mod, ast.FloorDiv)):
+        # Conservative: arithmetic over non-negative operands.
+        return nonneg_producer(value.left) and nonneg_producer(value.right)
+    return False
+
+
+class GuardAnalysis(ForwardAnalysis):
+    """Forward set-of-facts analysis; meet is intersection.
+
+    States are frozensets of facts.  Branch edges generate facts from
+    their condition; assignments kill facts over the reassigned name
+    and derive slice-length facts (``body = payload[4:]`` under
+    ``len(payload) >= 5`` yields ``len(body) >= 1``).
+    """
+
+    def __init__(self, nonneg_names: Optional[set[str]] = None):
+        self.nonneg_names = nonneg_names or set()
+
+    def initial(self) -> frozenset:
+        return frozenset(("ge0", name) for name in self.nonneg_names)
+
+    def meet(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def transfer_edge(self, edge: Edge, state: frozenset) -> frozenset:
+        if edge.cond is None or edge.branch is None:
+            return state
+        return state | facts_from_cond(edge.cond, edge.branch)
+
+    def transfer_stmt(self, stmt: ast.stmt, state: frozenset) -> frozenset:
+        assigned = _assigned_names(stmt)
+        if not assigned:
+            return state
+        kept = frozenset(fact for fact in state
+                         if not (kills_of_fact(fact) & assigned))
+        gen: set[Fact] = set()
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            gen.update(self._derive(stmt.targets[0].id, stmt.value, kept))
+        # Restore standing non-negativity for counters that stay
+        # provably non-negative through the assignment.
+        for name in assigned:
+            if name in self.nonneg_names:
+                gen.add(("ge0", name))
+        return kept | gen
+
+    def _derive(self, target: str, value: ast.expr,
+                state: frozenset) -> set[Fact]:
+        facts: set[Fact] = set()
+        if nonneg_producer(value):
+            facts.add(("ge0", target))
+        # y = x[<lower>:<upper>] — derive len(y) facts.
+        if isinstance(value, ast.Subscript) \
+                and isinstance(value.slice, ast.Slice) \
+                and isinstance(value.value, ast.Name):
+            base = value.value.id
+            lower = (lin_of(value.slice.lower)
+                     if value.slice.lower is not None else Lin(0))
+            upper = (lin_of(value.slice.upper)
+                     if value.slice.upper is not None else None)
+            if lower is None:
+                return facts
+            if upper is None:
+                # y = x[l:] ⇒ len(y) >= len(x) - l
+                for fact in state:
+                    if fact[0] == "len_ge" and fact[1] == base:
+                        facts.add(("len_ge", target, fact[2] - lower))
+            else:
+                # y = x[l:u] ⇒ len(y) == u - l when len(x) >= u.
+                for fact in state:
+                    if fact[0] == "len_ge" and fact[1] == base:
+                        slack = fact[2] - upper
+                        if slack.is_const and slack.const >= 0:
+                            facts.add(("len_ge", target, upper - lower))
+                            break
+        # y = x ⇒ copy len facts (bytes aliasing).
+        if isinstance(value, ast.Name):
+            for fact in state:
+                if fact[0] == "len_ge" and fact[1] == value.id:
+                    facts.add(("len_ge", target, fact[2]))
+        return facts
+
+
+def _assigned_names(stmt: ast.stmt) -> set[str]:
+    names: set[str] = set()
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for node in ast.walk(stmt.target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    elif isinstance(stmt, (ast.While,)):
+        pass   # header marker: the test assigns nothing
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for node in ast.walk(item.optional_vars):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+    return names
+
+
+def proves_len_ge(state: frozenset, base: str, needed: Lin,
+                  rdefs: Optional[ReachingDefs] = None) -> bool:
+    """Whether the facts in *state* prove ``len(base) >= needed``.
+
+    Tries each ``len_ge`` fact for *base*; the comparison succeeds when
+    ``fact - needed`` is a non-negative constant, optionally after
+    substituting unique definitions into both sides.
+    """
+    candidates = [needed]
+    for fact in state:
+        if fact[0] != "len_ge" or fact[1] != base:
+            continue
+        have = fact[2]
+        for want in candidates:
+            diff = have - want
+            if diff.is_const and diff.const >= 0:
+                return True
+            if rdefs is not None:
+                have_sub = _substitute_lin(have, rdefs)
+                want_sub = _substitute_lin(want, rdefs)
+                diff = have_sub - want_sub
+                if diff.is_const and diff.const >= 0:
+                    return True
+    return False
+
+
+def _substitute_lin(lin: Lin, rdefs: ReachingDefs, depth: int = 3) -> Lin:
+    out = Lin(lin.const)
+    for name, coeff in lin.terms:
+        definition = rdefs.unique_def(name)
+        sub = None
+        if definition is not None and depth > 0:
+            inner = lin_of(definition)
+            if inner is not None:
+                sub = _substitute_lin(inner, rdefs, depth - 1)
+        if sub is None:
+            out = out + Lin(terms=frozenset({(name, coeff)}))
+        else:
+            out = out + Lin(sub.const * coeff,
+                            frozenset((n, c * coeff) for n, c in sub.terms))
+    return out

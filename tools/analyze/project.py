@@ -1,0 +1,363 @@
+"""Project model: modules, symbol tables, import graph, call graph.
+
+Pass 1 parses every ``*.py`` under the analysis root into a
+:class:`Module`.  Pass 2 builds per-module symbol tables — top-level
+functions, classes with their methods, and each class's *private
+attribute surface* (every ``self._name`` its own methods assign).
+Pass 3 resolves project-internal imports into an import graph and an
+approximate call graph.
+
+The call graph is name-based and deliberately modest: it resolves
+``f(...)`` to a module-level function (local or from-imported),
+``self.m(...)`` / ``cls.m(...)`` within the enclosing class (including
+project-local base classes), ``mod.f(...)`` through module imports, and
+``ClassName(...)`` to ``__init__``.  Calls through dynamic dispatch
+(dicts of callables, locals aliasing methods) are invisible — checkers
+that need those edges seed them explicitly.  Unresolved calls produce
+no edge, which every consumer treats conservatively.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str                  #: "repro.protocols.dns._decode_qname"
+    name: str
+    node: ast.AST                  #: FunctionDef | AsyncFunctionDef
+    module: "Module"
+    class_name: Optional[str] = None   #: unqualified, for methods
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its method table."""
+
+    qualname: str
+    name: str
+    node: ast.ClassDef
+    module: "Module"
+    #: raw base-class expressions, dotted ("base.ProtocolSpec") or plain.
+    base_names: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: every attribute name assigned as ``self.<name> = ...`` in a method
+    #: (or annotated at class level); the class's state surface.
+    self_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def private_attrs(self) -> set[str]:
+        return {a for a in self.self_attrs
+                if a.startswith("_") and not a.startswith("__")}
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: Path
+    name: str                      #: dotted module name, e.g. "repro.agent.agent"
+    package: str                   #: first component under the root ("" at root)
+    tree: ast.Module
+    source_lines: list[str]
+    #: local alias → imported module dotted name (``import x.y as z``)
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local alias → (module dotted name, original symbol) for
+    #: ``from x import y [as z]``
+    symbol_aliases: dict[str, tuple[str, str]] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    def rel_display(self, repo_root: Optional[Path]) -> str:
+        if repo_root is not None:
+            try:
+                return str(self.path.relative_to(repo_root))
+            except ValueError:
+                pass
+        return str(self.path)
+
+
+class Project:
+    """Every module under one analysis root, with cross-module graphs."""
+
+    def __init__(self, root: Path, repo_root: Optional[Path] = None):
+        self.root = Path(root)
+        self.repo_root = repo_root
+        #: top package name the root directory maps to ("repro").
+        self.top_package = self.root.name
+        self.modules: dict[str, Module] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: module name → project-internal module names it imports.
+        self.import_graph: dict[str, set[str]] = {}
+        #: caller qualname → {callee qualname}.
+        self.call_graph: dict[str, set[str]] = {}
+        #: callee qualname → [(caller FunctionInfo, ast.Call node)].
+        self.call_sites: dict[str, list[tuple[FunctionInfo, ast.Call]]] = {}
+        self._load()
+        self._link()
+
+    # -- pass 1+2: parse and build symbol tables --------------------------
+
+    def _load(self) -> None:
+        for file_path in sorted(self.root.rglob("*.py")):
+            rel = file_path.relative_to(self.root)
+            parts = list(rel.parts)
+            package = parts[0] if len(parts) > 1 else ""
+            dotted = [self.top_package] + parts[:-1]
+            if parts[-1] != "__init__.py":
+                dotted.append(parts[-1][:-3])
+            name = ".".join(dotted)
+            source = file_path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError:
+                # Surfaced by the engine as a finding; skip the module.
+                continue
+            module = Module(path=file_path, name=name, package=package,
+                            tree=tree, source_lines=source.splitlines())
+            self._build_symbols(module)
+            self.modules[name] = module
+
+    def _build_symbols(self, module: Module) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._record_import(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{module.name}.{node.name}",
+                    name=node.name, node=node, module=module)
+                module.functions[node.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                self._build_class(module, node)
+        # Function-level imports matter for layering; record them too.
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)) \
+                    and node not in module.tree.body:
+                self._record_import(module, node)
+
+    def _build_class(self, module: Module, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            qualname=f"{module.name}.{node.name}", name=node.name,
+            node=node, module=module,
+            base_names=[_dotted(b) for b in node.bases if _dotted(b)])
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(
+                    qualname=f"{info.qualname}.{item.name}",
+                    name=item.name, node=item, module=module,
+                    class_name=node.name)
+                info.methods[item.name] = method
+                self.functions[method.qualname] = method
+                for sub in ast.walk(item):
+                    if isinstance(sub, ast.Attribute) \
+                            and isinstance(sub.ctx, ast.Store) \
+                            and isinstance(sub.value, ast.Name) \
+                            and sub.value.id == "self":
+                        info.self_attrs.add(sub.attr)
+            elif isinstance(item, ast.AnnAssign) \
+                    and isinstance(item.target, ast.Name):
+                info.self_attrs.add(item.target.id)
+        module.classes[node.name] = info
+        self.classes[info.qualname] = info
+
+    def _record_import(self, module: Module,
+                       node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module.module_aliases[alias.asname
+                                      or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                if alias.asname:
+                    module.module_aliases[alias.asname] = alias.name
+        else:
+            mod = node.module or ""
+            for alias in node.names:
+                module.symbol_aliases[alias.asname or alias.name] = \
+                    (mod, alias.name)
+
+    # -- pass 3: graphs ----------------------------------------------------
+
+    def _link(self) -> None:
+        for module in self.modules.values():
+            imported: set[str] = set()
+            for target in module.module_aliases.values():
+                if target in self.modules:
+                    imported.add(target)
+            for mod, symbol in module.symbol_aliases.values():
+                if mod in self.modules:
+                    imported.add(mod)
+                if f"{mod}.{symbol}" in self.modules:
+                    imported.add(f"{mod}.{symbol}")
+            self.import_graph[module.name] = imported
+        for function in list(self.functions.values()):
+            self._link_calls(function)
+
+    def _link_calls(self, function: FunctionInfo) -> None:
+        edges = self.call_graph.setdefault(function.qualname, set())
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self.resolve_call(function, node)
+            if callee is not None:
+                edges.add(callee.qualname)
+                self.call_sites.setdefault(callee.qualname, []).append(
+                    (function, node))
+
+    def resolve_call(self, caller: FunctionInfo,
+                     node: ast.Call) -> Optional[FunctionInfo]:
+        """Best-effort resolution of a call expression to a project
+        function; None when the target is dynamic or external."""
+        func = node.func
+        module = caller.module
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Local class constructor → __init__.
+            cls = module.classes.get(name)
+            if cls is None:
+                cls = self._imported_class(module, name)
+            if cls is not None:
+                return cls.methods.get("__init__")
+            target = module.functions.get(name)
+            if target is not None:
+                return target
+            origin = module.symbol_aliases.get(name)
+            if origin is not None:
+                mod, symbol = origin
+                target_module = self.modules.get(mod)
+                if target_module is not None:
+                    return target_module.functions.get(symbol)
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in ("self", "cls") and caller.class_name:
+                    cls = module.classes.get(caller.class_name)
+                    return self._resolve_method(cls, func.attr)
+                # mod.f(...) through an imported project module.
+                target_mod = self._imported_module(module, base.id)
+                if target_mod is not None:
+                    target = target_mod.functions.get(func.attr)
+                    if target is not None:
+                        return target
+                    cls = target_mod.classes.get(func.attr)
+                    if cls is not None:
+                        return cls.methods.get("__init__")
+                # ClassName.method(...) on a local or imported class.
+                cls = module.classes.get(base.id) \
+                    or self._imported_class(module, base.id)
+                if cls is not None:
+                    return self._resolve_method(cls, func.attr)
+        return None
+
+    def _resolve_method(self, cls: Optional[ClassInfo],
+                        name: str) -> Optional[FunctionInfo]:
+        seen = 0
+        while cls is not None and seen < 8:
+            method = cls.methods.get(name)
+            if method is not None:
+                return method
+            cls = self._base_class(cls)
+            seen += 1
+        return None
+
+    def _base_class(self, cls: ClassInfo) -> Optional[ClassInfo]:
+        for base_name in cls.base_names:
+            resolved = self.resolve_class_name(cls.module, base_name)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _imported_module(self, module: Module,
+                         alias: str) -> Optional[Module]:
+        dotted = module.module_aliases.get(alias)
+        if dotted is not None and dotted in self.modules:
+            return self.modules[dotted]
+        origin = module.symbol_aliases.get(alias)
+        if origin is not None:
+            mod, symbol = origin
+            return self.modules.get(f"{mod}.{symbol}")
+        return None
+
+    def _imported_class(self, module: Module,
+                        name: str) -> Optional[ClassInfo]:
+        origin = module.symbol_aliases.get(name)
+        if origin is not None:
+            mod, symbol = origin
+            target_module = self.modules.get(mod)
+            if target_module is not None:
+                return target_module.classes.get(symbol)
+        return None
+
+    def resolve_class_name(self, module: Module,
+                           dotted: str) -> Optional[ClassInfo]:
+        """Resolve a (possibly dotted) class reference in *module*."""
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            cls = module.classes.get(parts[0])
+            if cls is not None:
+                return cls
+            return self._imported_class(module, parts[0])
+        target_mod = self._imported_module(module, parts[0])
+        if target_mod is not None and len(parts) == 2:
+            return target_mod.classes.get(parts[1])
+        return None
+
+    # -- queries -----------------------------------------------------------
+
+    def subclasses_of(self, qualname: str) -> list[ClassInfo]:
+        """Every project class transitively deriving from *qualname*."""
+        out: list[ClassInfo] = []
+        for cls in self.classes.values():
+            current: Optional[ClassInfo] = cls
+            depth = 0
+            while current is not None and depth < 8:
+                base = self._base_class(current)
+                if base is not None and base.qualname == qualname:
+                    out.append(cls)
+                    break
+                current = base
+                depth += 1
+        return out
+
+    def reachable_from(self, seeds: set[str]) -> set[str]:
+        """Transitive call-graph closure from *seeds* (qualnames)."""
+        seen = set(seed for seed in seeds if seed in self.functions)
+        frontier = list(seen)
+        while frontier:
+            current = frontier.pop()
+            for callee in self.call_graph.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+
+
+def _dotted(node: ast.expr) -> str:
+    """Dotted name of an expression, or "" when not a name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

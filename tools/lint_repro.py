@@ -1,30 +1,18 @@
 #!/usr/bin/env python
-"""AST lint enforcing the repo's own static invariants (DESIGN.md §5).
+"""Back-compat CLI for the determinism/layering lint (DESIGN.md §5).
 
-Two of the reproduction's design rules are load-bearing for correctness
-but were, until this tool, prose:
+The checks themselves now live in the shared static-analysis framework
+(``tools.analyze``, DESIGN.md §10) as the *discipline* checker; this
+module keeps the original entry points and output stable:
 
-* **Determinism** (decision 1): all randomness and all notion of time flow
-  through the simulator's seeded RNG and virtual clock.  Wall-clock reads
-  (``time.time``, ``datetime.now``, ...) or module-level ``random``
-  calls anywhere outside ``repro.sim`` silently break bit-for-bit
-  reproducibility.
-* **Layering / no tracing back-channel** (decisions 2–3): the tracing
-  planes may only see what the kernel hooks expose.  If ``repro.agent``
-  or ``repro.server`` imported ``repro.apps``, trace assembly could cheat
-  by reaching into application objects instead of reconstructing
-  causality from wire bytes + kernel identifiers.  More generally each
-  package may only import from layers at or below it.
+* ``lint_source(source, path, package)`` / ``lint_tree(root)`` return
+  :class:`Violation` objects with the historical ``determinism`` /
+  ``layering`` rule names and messages.
+* ``python tools/lint_repro.py [root]`` exits 1 on violations.
+* the ``# lint: ok`` suppression marker keeps working.
 
-Usage::
-
-    python tools/lint_repro.py            # lint src/repro, exit 1 on hit
-    python tools/lint_repro.py <root>     # lint another tree (tests)
-
-Also importable: ``tests/test_lint_invariants.py`` runs the same checks
-as part of the tier-1 suite.  A line may opt out with a trailing
-``# lint: ok`` comment (reserved for annotations the AST walk cannot
-distinguish from violations).
+New code should run ``python -m tools.analyze`` instead, which adds the
+dissector-safety, hot-path, and confinement checkers on top.
 """
 
 from __future__ import annotations
@@ -34,53 +22,23 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from tools.analyze.checkers.discipline import (  # noqa: E402
+    ALLOWED_IMPORTS, BACK_CHANNEL, BANNED_CALLS, DETERMINISM_EXEMPT,
+    lint_module)
+from tools.analyze.findings import suppressed  # noqa: E402
+
+__all__ = ["ALLOWED_IMPORTS", "BACK_CHANNEL", "BANNED_CALLS",
+           "DETERMINISM_EXEMPT", "DEFAULT_ROOT", "REPO_ROOT",
+           "Violation", "lint_source", "lint_tree", "main"]
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_ROOT = REPO_ROOT / "src" / "repro"
 
-#: Wall-clock / nondeterminism sources: module → banned attributes
-#: (``*`` = every callable attribute of the module).
-BANNED_CALLS = {
-    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
-             "perf_counter", "perf_counter_ns", "sleep", "clock_gettime"},
-    "datetime": {"now", "utcnow", "today"},
-    "random": {"*"},
-    "secrets": {"*"},
-    "uuid": {"uuid1", "uuid4"},
-    "os": {"urandom", "getrandom"},
-}
-
-#: Packages exempt from the determinism/RNG rules: repro.sim owns the
-#: seeded RNG and the virtual clock.
-DETERMINISM_EXEMPT = {"sim"}
-
-#: Layering: package → packages it may import from ``repro.*``.
-#: Anything absent means "may import nothing from repro".  The agent and
-#: server knowing nothing about repro.apps is the paper's zero-code
-#: claim made structural: the tracer cannot reach into application state.
-ALLOWED_IMPORTS = {
-    "sim": {"sim"},
-    "core": {"core", "sim"},
-    "kernel": {"kernel", "network", "sim", "core"},
-    "network": {"kernel", "network", "sim", "core"},
-    "protocols": {"protocols", "core", "sim"},
-    "agent": {"agent", "core", "kernel", "network", "protocols", "sim"},
-    "server": {"server", "agent", "core", "kernel", "network",
-               "protocols", "sim"},
-    "apps": {"apps", "kernel", "network", "protocols", "sim", "core"},
-    "baselines": {"baselines", "core", "sim"},
-    "survey": {"survey", "core"},
-    "analysis": {"analysis", "agent", "apps", "baselines", "core",
-                 "kernel", "network", "protocols", "server", "sim",
-                 "survey"},
-}
-
-#: The planes that must never see application internals, with the design
-#: rule each violation breaks (used for the error message).
-BACK_CHANNEL = {
-    ("agent", "apps"): "the agent may only read what the hooks expose",
-    ("server", "apps"): "trace assembly must reconstruct causality "
-                        "from spans alone",
-}
+#: Rules this legacy surface reports; the framework's newer rules
+#: (runtime-assert, …) are intentionally not exposed here.
+_LEGACY_RULES = {"determinism", "layering"}
 
 
 @dataclass(frozen=True)
@@ -96,136 +54,19 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-class _FileLinter(ast.NodeVisitor):
-    """Single-module pass collecting violations."""
-
-    def __init__(self, path: str, package: str, source_lines: list[str]):
-        self.path = path
-        self.package = package  # first component under repro/, "" at root
-        self.source_lines = source_lines
-        self.violations: list[Violation] = []
-        #: local alias → banned (module, attr) from `from X import Y`.
-        self._from_aliases: dict[str, tuple[str, str]] = {}
-        #: local alias → banned module from `import X as Y`.
-        self._module_aliases: dict[str, str] = {}
-
-    # -- helpers ----------------------------------------------------------
-
-    def _suppressed(self, line: int) -> bool:
-        if 1 <= line <= len(self.source_lines):
-            return "lint: ok" in self.source_lines[line - 1]
-        return False
-
-    def _report(self, node: ast.AST, rule: str, message: str) -> None:
-        line = getattr(node, "lineno", 0)
-        if not self._suppressed(line):
-            self.violations.append(
-                Violation(self.path, line, rule, message))
-
-    @property
-    def _determinism_applies(self) -> bool:
-        return self.package not in DETERMINISM_EXEMPT
-
-    # -- imports ----------------------------------------------------------
-
-    def _check_repro_import(self, node: ast.AST, target: str) -> None:
-        parts = target.split(".")
-        if parts[0] != "repro" or len(parts) < 2:
-            return
-        imported_pkg = parts[1]
-        if not self.package:  # files directly under repro/ (public API)
-            return
-        allowed = ALLOWED_IMPORTS.get(self.package)
-        if allowed is not None and imported_pkg not in allowed:
-            reason = BACK_CHANNEL.get((self.package, imported_pkg))
-            detail = (f" — no tracing back-channel: {reason}"
-                      if reason else "")
-            self._report(
-                node, "layering",
-                f"repro.{self.package} must not import "
-                f"repro.{imported_pkg}{detail}")
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self._check_repro_import(node, alias.name)
-            top = alias.name.split(".")[0]
-            if top in BANNED_CALLS and self._determinism_applies:
-                self._module_aliases[alias.asname or top] = top
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        self._check_repro_import(node, module)
-        top = module.split(".")[0]
-        if top in BANNED_CALLS and self._determinism_applies:
-            banned = BANNED_CALLS[top]
-            for alias in node.names:
-                if alias.name in banned or "*" in banned:
-                    self._from_aliases[alias.asname or alias.name] = \
-                        (top, alias.name)
-        self.generic_visit(node)
-
-    # -- calls -------------------------------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if self._determinism_applies:
-            self._check_call(node)
-        self.generic_visit(node)
-
-    def _check_call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute):
-            chain = _attr_chain(func)
-            if chain:
-                root = self._module_aliases.get(chain[0], chain[0])
-                banned = BANNED_CALLS.get(root)
-                # Only flag when the base really is the module (it was
-                # imported in this file), not a same-named local object.
-                if banned and (chain[0] in self._module_aliases
-                               or self._is_imported_module(chain[0])):
-                    attr = chain[-1]
-                    if attr in banned or "*" in banned:
-                        self._report(
-                            node, "determinism",
-                            f"call to {'.'.join(chain)}() — "
-                            f"nondeterministic outside repro.sim; use "
-                            f"the simulator's clock/RNG")
-        elif isinstance(func, ast.Name):
-            origin = self._from_aliases.get(func.id)
-            if origin is not None:
-                self._report(
-                    node, "determinism",
-                    f"call to {func.id}() (from {origin[0]} import "
-                    f"{origin[1]}) — nondeterministic outside repro.sim")
-
-    def _is_imported_module(self, name: str) -> bool:
-        return name in self._module_aliases
-
-    # datetime.datetime.now() reaches here as chain
-    # ("datetime", "datetime", "now") and is caught by the attr check.
-
-
-def _attr_chain(node: ast.Attribute) -> tuple[str, ...]:
-    parts: list[str] = [node.attr]
-    obj = node.value
-    while isinstance(obj, ast.Attribute):
-        parts.append(obj.attr)
-        obj = obj.value
-    if isinstance(obj, ast.Name):
-        parts.append(obj.id)
-        return tuple(reversed(parts))
-    return ()
-
-
 def lint_source(source: str, path: str, package: str) -> list[Violation]:
     """Lint one module's *source*; *package* is its repro subpackage."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "syntax", str(exc))]
-    linter = _FileLinter(path, package, source.splitlines())
-    linter.visit(tree)
-    return sorted(linter.violations, key=lambda v: (v.path, v.line))
+    source_lines = source.splitlines()
+    violations = [
+        Violation(f.path, f.line, f.rule, f.message)
+        for f in lint_module(tree, path, package, assert_rule=False)
+        if f.rule in _LEGACY_RULES
+        and not suppressed(source_lines, f.line)]
+    return sorted(violations, key=lambda v: (v.path, v.line))
 
 
 def _package_of(file_path: Path, root: Path) -> str:
