@@ -132,6 +132,20 @@ def syscall_tracing_bytecode(budget: int):
 
 
 @lru_cache(maxsize=None)
+def syscall_shed_bytecode(budget: int):
+    """SHED_PAYLOAD variant of the syscall tracing program: the record
+    prologue and submit are identical, but the payload copy-out
+    (``probe_read_kernel``) is omitted — the association fields still
+    flow, the L7 bytes do not.  The overload controller swaps the
+    attached syscall programs to this variant when a degradation tier
+    engages (repro.agent.overload)."""
+    return _sized(
+        lambda trips, pad: _build_tracing(_SYSCALL_FIELDS, None, 0,
+                                          trips, pad),
+        budget, "tracepoint", "df_syscall_shed")
+
+
+@lru_cache(maxsize=None)
 def uprobe_tracing_bytecode(budget: int):
     """Program attached to uprobe/uretprobe points (e.g. ssl_write):
     copies the *user-space* plaintext buffer with ``probe_read_user``."""

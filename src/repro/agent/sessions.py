@@ -21,6 +21,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro.agent.overload import DEGRADED_PROTOCOL
 from repro.kernel.syscalls import Direction, SyscallRecord
 from repro.protocols.base import MessageType, ParsedMessage
 
@@ -65,6 +66,11 @@ class Message:
         self.total_bytes += record.byte_len
         self.last_exit_time = max(self.last_exit_time, record.exit_time)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the message was built without payload (SHED_PAYLOAD)."""
+        return self.parsed.protocol == DEGRADED_PROTOCOL
+
 
 @dataclass
 class Session:
@@ -79,6 +85,12 @@ class Session:
     def complete(self) -> bool:
         """Whether both request and response are present."""
         return self.request is not None and self.response is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether either side was built without payload (overload)."""
+        return ((self.request is not None and self.request.degraded)
+                or (self.response is not None and self.response.degraded))
 
 
 class TimeWindowArray:
@@ -140,6 +152,8 @@ class SessionAggregator:
         self.matched = 0
         self.expired = 0
         self.orphans = 0
+        #: Matched sessions whose detail was shed under overload.
+        self.degraded = 0
 
     def _state(self, socket_id: int) -> _SocketState:
         return self._sockets.setdefault(socket_id, _SocketState())
@@ -206,7 +220,10 @@ class SessionAggregator:
     def _pair(self, socket_id: int, request: Message,
               response: Message) -> Session:
         self.matched += 1
-        return Session(socket_id, request=request, response=response)
+        session = Session(socket_id, request=request, response=response)
+        if session.degraded:
+            self.degraded += 1
+        return session
 
     def open_request_count(self, socket_id: Optional[int] = None) -> int:
         """Open requests on one socket (or all)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+from repro.agent.overload import Tier
 from repro.core.span import Span, SpanSide
 
 
@@ -19,16 +20,20 @@ from repro.core.span import Span, SpanSide
 class Alert:
     """One detected anomaly."""
 
-    kind: str                 # "error-burst" | "latency-regression"
-    service: str              # process name
+    kind: str       # "error-burst" | "latency-regression" | "degradation-tier"
+    service: str              # process name (or agent host)
     window_start: float
     window_end: float
-    value: float              # error rate, or latency ratio vs baseline
+    value: float              # error rate, latency ratio, or new tier
     threshold: float
     exemplar_span_id: Optional[int] = None
+    detail: str = ""
 
     def describe(self) -> str:
         """One-paragraph human-readable description."""
+        if self.kind == "degradation-tier":
+            return (f"[{self.kind}] agent {self.service} "
+                    f"@{self.window_start:.2f}s: {self.detail}")
         if self.kind == "error-burst":
             detail = f"error rate {self.value:.0%} >= {self.threshold:.0%}"
         else:
@@ -60,11 +65,13 @@ class _ServiceBaseline:
 class AnomalyWatchdog:
     """Windowed scanner over a DeepFlow server's span store."""
 
-    def __init__(self, server, *, window: float = 0.5,
+    def __init__(self, server, *, agents=(), window: float = 0.5,
                  error_rate_threshold: float = 0.2,
                  latency_ratio_threshold: float = 3.0,
                  min_samples: int = 5):
         self.server = server
+        #: Agents whose overload controllers are watched for tier moves.
+        self.agents = list(agents)
         self.window = window
         self.error_rate_threshold = error_rate_threshold
         self.latency_ratio_threshold = latency_ratio_threshold
@@ -72,11 +79,16 @@ class AnomalyWatchdog:
         self.alerts: list[Alert] = []
         self._baselines: dict[str, _ServiceBaseline] = {}
         self._scanned_until = 0.0
+        self._seen_transitions: dict[int, int] = {}
+
+    def watch_agent(self, agent) -> None:
+        """Add an agent's degradation tiers to the scan set."""
+        self.agents.append(agent)
 
     def scan(self, now: float) -> list[Alert]:
         """Scan complete windows in (scanned_until, now]; returns new
         alerts (also appended to :attr:`alerts`)."""
-        new_alerts: list[Alert] = []
+        new_alerts: list[Alert] = self._scan_degradation()
         while self._scanned_until + self.window <= now:
             start = self._scanned_until
             end = start + self.window
@@ -84,6 +96,30 @@ class AnomalyWatchdog:
             self._scanned_until = end
         self.alerts.extend(new_alerts)
         return new_alerts
+
+    def _scan_degradation(self) -> list[Alert]:
+        """Alert on every overload-tier transition not yet reported.
+
+        The agent going deaf is itself an anomaly an operator must see:
+        spans are being degraded or sampled, so dashboards built on them
+        undercount.  Entering a tier and *leaving* it both alert — the
+        controller's transition log is replayed exactly once.
+        """
+        alerts: list[Alert] = []
+        for agent in self.agents:
+            controller = getattr(agent, "overload", None)
+            if controller is None:
+                continue
+            seen = self._seen_transitions.get(id(agent), 0)
+            transitions = controller.transitions
+            for when, old, new, reason in transitions[seen:]:
+                alerts.append(Alert(
+                    kind="degradation-tier", service=agent.host,
+                    window_start=when, window_end=when,
+                    value=float(Tier[new]), threshold=float(Tier[old]),
+                    detail=f"{old} -> {new} ({reason})"))
+            self._seen_transitions[id(agent)] = len(transitions)
+        return alerts
 
     def _scan_window(self, start: float, end: float) -> list[Alert]:
         spans = [span for span in self.server.span_list(start, end)

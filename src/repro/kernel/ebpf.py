@@ -45,6 +45,51 @@ MAX_INSTRUCTIONS = 1_000_000
 #: Verifier limit on BPF stack usage, bytes.
 MAX_STACK_BYTES = 512
 
+#: Instructions executed on the throttled early-exit path: the program
+#: reads its rate-limit map entry, finds the bucket empty, and bails out
+#: before building the record.  Charged instead of the full path cost.
+THROTTLE_EXIT_INSTRUCTIONS = 16
+
+
+class TokenBucket:
+    """Deterministic token bucket for per-hook firing-time throttling.
+
+    Tokens refill continuously at ``rate`` per second of *simulated*
+    time up to ``burst``; each admitted firing spends one token.  The
+    kernel-side check (`allow`) is the model of the map-lookup +
+    decrement a real rate-limiting eBPF program performs, so it must
+    stay allocation-free — it runs once per hook firing.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "last_refill",
+                 "admitted", "throttled")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("token bucket rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.last_refill = 0.0
+        self.admitted = 0
+        self.throttled = 0
+
+    def allow(self, now: float) -> bool:
+        """Spend one token if available; refills from elapsed sim time."""
+        elapsed = now - self.last_refill
+        if elapsed > 0.0:
+            tokens = self.tokens + elapsed * self.rate
+            if tokens > self.burst:
+                tokens = self.burst
+            self.tokens = tokens
+            self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.admitted += 1
+            return True
+        self.throttled += 1
+        return False
+
 
 @dataclass
 class BPFProgram:
@@ -70,7 +115,13 @@ class BPFProgram:
     #: 277–889 ns (Fig 13) yet full instrumentation costs tens of µs per
     #: syscall at the macro level (Appendix B's 44k→31k RPS drop).
     system_tax_ns: float = 0.0
+    #: Optional firing-time rate limiter (agent self-protection): when
+    #: set, :meth:`HookRegistry.fire` consults it before running the
+    #: program and charges only the early-exit cost on refusal.
+    rate_limiter: Optional[TokenBucket] = None
     runtime_faults: int = field(default=0, init=False)
+    #: Firings refused by :attr:`rate_limiter` since attach.
+    throttled: int = field(default=0, init=False)
     #: Set by :func:`verify_program` when the program carries bytecode.
     verified: Optional[VerifierReport] = field(default=None, init=False)
 
@@ -154,9 +205,17 @@ class HookRegistry:
     ``uretprobe:ssl_write`` (user-space probes), ``coroutine_create``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
         self._hooks: dict[str, list[BPFProgram]] = {}
+        #: Clock source for firing-time rate limiters; a registry built
+        #: without one (bare unit tests) cannot host throttled programs.
+        self._sim = sim
         self.total_firings = 0
+        #: Firings refused by a program's token bucket since boot.
+        self.total_throttled = 0
+        #: Cumulative kernel time charged across all firings, ns — the
+        #: numerator of the overhead-vs-completeness curve.
+        self.total_cost_ns = 0.0
         #: Programs refused by the verifier since boot (observability of
         #: the safety mechanism itself).
         self.verifier_rejections = 0
@@ -211,6 +270,11 @@ class HookRegistry:
         Returns the total kernel-time cost in nanoseconds.  Runtime faults
         inside a program are contained (counted on the program, swallowed)
         — an eBPF program cannot crash the kernel.
+
+        A program carrying a :class:`TokenBucket` is consulted before it
+        runs: on refusal only the early-exit cost (map lookup + bail) is
+        charged and the handler is skipped — the firing-time half of the
+        agent's overload self-protection.
         """
         programs = self._hooks.get(hook_name)
         if not programs:
@@ -218,11 +282,20 @@ class HookRegistry:
         cost_ns = 0.0
         for program in programs:
             self.total_firings += 1
+            limiter = program.rate_limiter
+            if limiter is not None and not limiter.allow(self._sim.now):
+                program.throttled += 1
+                self.total_throttled += 1
+                cost_ns += (EMPTY_PROGRAM_LATENCY_NS
+                            + THROTTLE_EXIT_INSTRUCTIONS
+                            * PER_INSTRUCTION_LATENCY_NS)
+                continue
             cost_ns += program.cost_ns
             try:
                 program.handler(context)
             except Exception:  # noqa: BLE001 - containment is the contract
                 program.runtime_faults += 1
+        self.total_cost_ns += cost_ns
         return cost_ns
 
 
@@ -237,10 +310,28 @@ class PerfBuffer:
     def __init__(self, sim: Simulator, capacity: int = 65536,
                  name: str = "perf"):
         self._queue = Queue(sim, capacity=capacity, name=name)
+        self.capacity = capacity
+        #: Deepest simultaneous occupancy ever reached (in records).
+        self.high_water = 0
+        #: Drops attributed to the submitting hook (e.g. the syscall
+        #: ABI), so overload shows *which* hook overran the buffer
+        #: instead of one global count.
+        self.drops_by_source: dict[str, int] = {}
 
-    def submit(self, record: Any) -> bool:
-        """Kernel side: enqueue a record.  Returns False if dropped."""
-        return self._queue.put(record)
+    def submit(self, record: Any, source: str = "") -> bool:
+        """Kernel side: enqueue a record.  Returns False if dropped.
+
+        *source* names the submitting hook for drop attribution.
+        """
+        if self._queue.put(record):
+            depth = len(self._queue)
+            if depth > self.high_water:
+                self.high_water = depth
+            return True
+        if source:
+            self.drops_by_source[source] = \
+                self.drops_by_source.get(source, 0) + 1
+        return False
 
     def get(self):
         """User side: event delivering the next record."""
@@ -263,6 +354,12 @@ class PerfBuffer:
     def dropped(self) -> int:
         """Records dropped due to overflow."""
         return self._queue.dropped
+
+    @property
+    def occupancy(self) -> float:
+        """Current fill fraction in [0, 1] — the overload controller's
+        pressure signal."""
+        return len(self._queue) / self.capacity
 
     @property
     def total_submitted(self) -> int:

@@ -58,7 +58,7 @@ class Kernel:
         self.sim = sim
         self.host_name = host_name
         self.network = network
-        self.hooks = HookRegistry()
+        self.hooks = HookRegistry(sim)
         self.processes: dict[int, OSProcess] = {}
         self.sockets: dict[int, Socket] = {}
         self._fd_tables: dict[int, dict[int, Socket]] = {}

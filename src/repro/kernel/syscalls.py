@@ -105,6 +105,17 @@ class SyscallRecord:
     payload: bytes
     ret: int
     host_name: str = ""
+    #: Overload degradation (repro.agent.overload): the payload copy-out
+    #: was shed kernel-side.  The association fields above are intact, so
+    #: Algorithm 1 still links the span — only the L7 detail is gone.
+    payload_shed: bool = False
+    #: For shed records: whether this syscall starts a direction run (the
+    #: head of a message) rather than continuing one.  Lets user space
+    #: keep multi-syscall messages whole without seeing the payload.
+    shed_head: bool = False
+    #: For shed records: whether the record travels in the flow's request
+    #: direction (the first direction seen on the socket).
+    shed_is_request: bool = False
     extra: dict = field(default_factory=dict)
 
     @property

@@ -257,6 +257,77 @@ def test_baseline_fingerprint_survives_line_shift(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Hot-path: the overload guards must stay allocation-free (whole body)
+
+
+def test_hot_path_flags_allocation_in_overload_guard(tmp_path):
+    root = _seed_tree(tmp_path, {
+        "agent/overload.py": '''
+            class HeadSampler:
+                def __init__(self):
+                    self._sockets = {}
+
+                def admit(self, socket_id, five_tuple, direction):
+                    state = self._sockets.get(socket_id)
+                    if state is None:
+                        state = [direction, 0, 1, False, direction]
+                        self._sockets[socket_id] = state
+                    return 1
+            ''',
+    })
+    report = _analyze(root, ["hot-path"])
+    rules = [f.rule for f in report.findings]
+    assert "hp-alloc-in-guard" in rules, report.findings
+    hit = next(f for f in report.findings
+               if f.rule == "hp-alloc-in-guard")
+    assert hit.severity == "error"
+    assert "admit" in hit.function
+
+
+def test_hot_path_accepts_allocation_free_guard(tmp_path):
+    root = _seed_tree(tmp_path, {
+        "agent/overload.py": '''
+            class HeadSampler:
+                def __init__(self):
+                    self._sockets = {}
+
+                def admit(self, socket_id, five_tuple, direction):
+                    state = self._sockets.get(socket_id)
+                    if state is None:
+                        state = self._open(socket_id, direction)
+                    return 1 if state[2] else 0
+
+                def _open(self, socket_id, direction):
+                    state = [direction, 0, 1, False, direction]
+                    self._sockets[socket_id] = state
+                    return state
+            ''',
+    })
+    report = _analyze(root, ["hot-path"])
+    assert report.findings == [], [str(f) for f in report.findings]
+
+
+def test_hot_path_guard_flags_fstring_and_call(tmp_path):
+    root = _seed_tree(tmp_path, {
+        "kernel/ebpf.py": '''
+            class TokenBucket:
+                def __init__(self, rate, burst):
+                    self.rate = rate
+                    self.tokens = burst
+
+                def allow(self, now):
+                    label = f"bucket-{now}"
+                    history = list(label)
+                    return bool(history)
+            ''',
+    })
+    report = _analyze(root, ["hot-path"])
+    rules = sorted(f.rule for f in report.findings)
+    assert rules == ["hp-alloc-in-guard", "hp-alloc-in-guard"], \
+        report.findings
+
+
+# ---------------------------------------------------------------------------
 # The repo itself and the CLI
 
 

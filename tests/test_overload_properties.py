@@ -1,0 +1,125 @@
+"""Property tests: head-based sampling is trace-atomic.
+
+The contract of :class:`repro.agent.overload.HeadSampler` is that the
+sampling unit is one request/response exchange — for ANY interleaving of
+flows, ANY sampling rate, and ANY sequence of mid-stream rate changes or
+tier flips, every exchange is either fully admitted or fully dropped.
+A violation is precisely a shredded trace: a span built from half an
+exchange.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agent.overload import DROP, HeadSampler
+from repro.kernel.sockets import FiveTuple
+from repro.kernel.syscalls import Direction
+
+
+def flow_of(index: int) -> FiveTuple:
+    return FiveTuple(f"10.0.0.{index + 1}", 40000 + index,
+                     "10.0.1.1", 80)
+
+
+#: One flow: per exchange, how many request syscalls then how many
+#: response syscalls (multi-syscall messages are the interesting case —
+#: the head decision must stick for every continuation record).
+flow_shapes = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=3),
+              st.integers(min_value=1, max_value=3)),
+    min_size=1, max_size=4)
+
+
+@st.composite
+def workloads(draw):
+    """A set of flows, a global interleaving, and a rate schedule."""
+    shapes = draw(st.lists(flow_shapes, min_size=1, max_size=5))
+    per_flow = []
+    for flow_index, exchanges in enumerate(shapes):
+        records = []
+        for exchange_index, (req_count, resp_count) in enumerate(exchanges):
+            records.extend(
+                (flow_index, exchange_index, Direction.EGRESS)
+                for _ in range(req_count))
+            records.extend(
+                (flow_index, exchange_index, Direction.INGRESS)
+                for _ in range(resp_count))
+        per_flow.append(records)
+    # Interleave across flows while preserving each flow's own order —
+    # exactly the reordering a shared perf buffer can produce.
+    deck = [index for index, records in enumerate(per_flow)
+            for _ in records]
+    deck = draw(st.permutations(deck))
+    rate_events = draw(st.lists(
+        st.one_of(st.floats(min_value=0.0, max_value=1.0),
+                  st.booleans()),
+        min_size=0, max_size=len(deck)))
+    return per_flow, deck, rate_events
+
+
+@given(workloads(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_every_exchange_is_all_or_nothing(workload, initial_rate):
+    per_flow, deck, rate_events = workload
+    sampler = HeadSampler(rate=initial_rate)
+    cursors = [0] * len(per_flow)
+    outcomes: dict[tuple, set] = {}
+    for step, flow_index in enumerate(deck):
+        # Adversarial mid-stream control actions: rate changes and
+        # SHED_SPANS flips between arbitrary records.
+        if step < len(rate_events):
+            event = rate_events[step]
+            if isinstance(event, bool):
+                sampler.forced_off = event
+            else:
+                sampler.rate = event
+        records = per_flow[flow_index]
+        flow_index_, exchange_index, direction = records[
+            cursors[flow_index]]
+        cursors[flow_index] += 1
+        code = sampler.admit(flow_index, flow_of(flow_index), direction)
+        outcomes.setdefault((flow_index, exchange_index),
+                            set()).add(code != DROP)
+    # Trace atomicity: no exchange may mix admitted and dropped records.
+    torn = {key for key, kept in outcomes.items() if len(kept) > 1}
+    assert not torn, f"shredded exchanges: {sorted(torn)}"
+
+
+@given(workloads())
+@settings(max_examples=100, deadline=None)
+def test_rate_one_never_drops_and_rate_zero_admits_nothing(workload):
+    per_flow, deck, _rate_events = workload
+    keep_all = HeadSampler(rate=1.0)
+    keep_none = HeadSampler(rate=0.0)
+    cursors = [0] * len(per_flow)
+    for flow_index in deck:
+        records = per_flow[flow_index]
+        _, _, direction = records[cursors[flow_index]]
+        cursors[flow_index] += 1
+        assert keep_all.admit(flow_index, flow_of(flow_index),
+                              direction) != DROP
+        assert keep_none.admit(1000 + flow_index, flow_of(flow_index),
+                               direction) == DROP
+
+
+@given(workloads(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_flow_endpoints_reach_identical_decisions(workload, rate):
+    """The client-side and server-side agents of one flow keep exactly
+    the same exchanges: the hash is canonical and the exchange index
+    advances in lockstep with the request/response structure."""
+    per_flow, deck, _rate_events = workload
+    client = HeadSampler(rate=rate)
+    server = HeadSampler(rate=rate)
+    mirror = {Direction.EGRESS: Direction.INGRESS,
+              Direction.INGRESS: Direction.EGRESS}
+    cursors = [0] * len(per_flow)
+    for flow_index in deck:
+        records = per_flow[flow_index]
+        _, _, direction = records[cursors[flow_index]]
+        cursors[flow_index] += 1
+        flow = flow_of(flow_index)
+        kept_client = client.admit(flow_index, flow, direction) != DROP
+        kept_server = server.admit(flow_index, flow.reversed(),
+                                   mirror[direction]) != DROP
+        assert kept_client == kept_server

@@ -101,6 +101,36 @@ class TestWatchdog:
         text = alert.describe()
         assert "error-burst" in text and "svc" in text and "50%" in text
 
+    def test_degradation_tier_alert_on_enter_and_leave(self):
+        sim = Simulator(seed=5)
+        builder = ClusterBuilder(node_count=1)
+        cluster = builder.build()
+        Network(sim, cluster)
+        server = DeepFlowServer()
+        agent = server.new_agent(cluster.nodes[0].kernel,
+                                 node=cluster.nodes[0])
+        agent.deploy()
+        watchdog = AnomalyWatchdog(server, agents=[agent], window=0.25)
+        # Sustained perf-buffer pressure forces the controller down a tier.
+        agent.overload.tick(0.1, 1.0, 50)
+        alerts = watchdog.scan(now=0.2)
+        tiers = [a for a in alerts if a.kind == "degradation-tier"]
+        assert len(tiers) == 1
+        assert tiers[0].service == agent.host
+        assert tiers[0].detail == "FULL -> SHED_PAYLOAD (perf-pressure)"
+        assert tiers[0].value > tiers[0].threshold  # entering degradation
+        assert "SHED_PAYLOAD" in tiers[0].describe()
+        # Recovery (after hysteresis) raises a leaving alert as well.
+        for step in range(3):
+            agent.overload.tick(0.2 + step * 0.1, 0.0, 0)
+        again = watchdog.scan(now=0.6)
+        tiers = [a for a in again if a.kind == "degradation-tier"]
+        assert len(tiers) == 1
+        assert tiers[0].detail == "SHED_PAYLOAD -> FULL (recovered)"
+        assert tiers[0].value < tiers[0].threshold  # stepping back up
+        # Already-reported transitions never re-alert.
+        assert watchdog.scan(now=1.0) == []
+
 
 class TestIncidentReport:
     def test_report_contains_diagnosis_and_trace(self):

@@ -21,6 +21,16 @@ loop bodies only:
 * ``hp-rescan-in-loop`` (warn) — ``sorted(...)``, ``.sort()``,
   ``.index()``, or ``insort`` inside a loop: an O(n) pass per event.
 
+A second, stricter contract covers the overload guards
+(:data:`ALLOC_FREE_SEEDS`): the per-record sampler decision, the
+firing-time token-bucket check, and the per-poll tier check run on
+*every* kernel event precisely when the agent is already drowning, so
+their whole bodies — not just loop bodies — must be allocation-free.
+``hp-alloc-in-guard`` (error) flags constructor calls, comprehensions,
+f-strings, and list/set/dict literal displays anywhere inside them;
+the once-per-socket/once-per-transition slow paths they delegate to are
+deliberately not listed.
+
 Dynamic dispatch hides the agent's handler table from the call graph,
 so the seed list names the handler methods explicitly.
 """
@@ -43,10 +53,21 @@ HOT_SEEDS: dict[str, tuple[str, ...]] = {
     "DeepFlowAgent": ("poll", "_process_event", "_dispatch_slow",
                       "_process_coroutine_event", "_process_close_event",
                       "_process_uprobe_record", "_process_syscall_record",
-                      "_ingest_message", "_emit_session"),
+                      "_process_degraded_record", "_ingest_message",
+                      "_emit_session", "_on_enter", "_on_exit"),
+}
+
+#: class name → methods whose ENTIRE body must be allocation-free: the
+#: overload-protection fast paths, which run per kernel event exactly
+#: when the agent is overloaded.
+ALLOC_FREE_SEEDS: dict[str, tuple[str, ...]] = {
+    "TokenBucket": ("allow",),
+    "HeadSampler": ("admit",),
+    "OverloadController": ("tick",),
 }
 
 ALLOC_CALLS = {"list", "dict", "set", "tuple", "frozenset", "sorted"}
+ALLOC_DISPLAYS = (ast.List, ast.Set, ast.Dict)
 COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
                   ast.GeneratorExp)
 RESCAN_METHODS = {"sort", "index"}
@@ -66,6 +87,25 @@ def hot_functions(project: Project) -> dict[str, FunctionInfo]:
     closure = project.reachable_from(seeds)
     return {q: project.functions[q] for q in closure
             if q in project.functions}
+
+
+def alloc_free_functions(project: Project) -> dict[str, FunctionInfo]:
+    """qualname → function for the allocation-free guard seeds.
+
+    No call-graph closure here: the guards delegate their cold paths
+    (socket open, tier transition) to helpers that allocate by design,
+    so only the listed bodies themselves carry the contract.
+    """
+    out: dict[str, FunctionInfo] = {}
+    for cls in project.classes.values():
+        wanted = ALLOC_FREE_SEEDS.get(cls.name)
+        if not wanted:
+            continue
+        for method_name in wanted:
+            method = cls.methods.get(method_name)
+            if method is not None and method.qualname in project.functions:
+                out[method.qualname] = project.functions[method.qualname]
+    return out
 
 
 def _loop_bodies(func_node: ast.AST) -> Iterator[list[ast.stmt]]:
@@ -127,6 +167,38 @@ class HotPathChecker(Checker):
             for body in _loop_bodies(info.node):
                 yield from self._check_body(body, path, qualname,
                                             reported)
+        for qualname, info in sorted(alloc_free_functions(project).items()):
+            path = info.module.rel_display(project.repo_root)
+            yield from self._check_guard(info.node.body, path, qualname)
+
+    def _check_guard(self, body: list[ast.stmt], path: str,
+                     qualname: str) -> Iterator[Finding]:
+        """Flag ANY allocation in an overload-guard body — these run per
+        kernel event exactly when the agent is drowning, so even the
+        literal displays the loop rule tolerates are disallowed."""
+        for node in _walk_body(body):
+            kind = None
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id in ALLOC_CALLS:
+                kind = f"{node.func.id}() call"
+            elif isinstance(node, COMPREHENSIONS):
+                kind = "comprehension"
+            elif isinstance(node, ast.JoinedStr):
+                kind = "f-string"
+            elif isinstance(node, ALLOC_DISPLAYS):
+                ctx = getattr(node, "ctx", None)
+                if ctx is None or isinstance(ctx, ast.Load):
+                    kind = "literal display"
+            if kind is not None:
+                yield Finding(
+                    path=path, line=node.lineno, checker=self.name,
+                    rule="hp-alloc-in-guard", severity="error",
+                    function=qualname,
+                    message=(f"{kind} inside an overload guard — this "
+                             f"body runs per kernel event under "
+                             f"overload and must stay allocation-free; "
+                             f"move it to the cold path"))
 
     def _check_body(self, body: list[ast.stmt], path: str,
                     qualname: str,

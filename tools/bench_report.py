@@ -1,10 +1,12 @@
 """Emit BENCH_results.json: the headline numbers of the perf work.
 
-Runs the three hot-path measurements this repo optimizes — agent
-pipeline throughput, span-store ingest, and Algorithm 1 trace assembly
-(incremental trace-graph index vs the iterative reference) — and writes
-them as one JSON document, so perf regressions show up as a diffable
-artifact rather than scrolling benchmark logs.
+Runs the hot-path measurements this repo optimizes — agent pipeline
+throughput, span-store ingest, and Algorithm 1 trace assembly
+(incremental trace-graph index vs the iterative reference) — plus the
+overload self-protection trade (overhead vs trace completeness under a
+10x ramp, protection on vs off), and writes them as one JSON document,
+so perf regressions show up as a diffable artifact rather than
+scrolling benchmark logs.
 
 Usage::
 
@@ -21,14 +23,19 @@ import json
 import sys
 import time
 
-from repro.agent.agent import DeepFlowAgent
+from repro.agent.agent import AgentConfig, DeepFlowAgent
+from repro.apps.loadgen import LoadGenerator
+from repro.apps.runtime import HttpService, Response
 from repro.core.span import Span, SpanKind, SpanSide
 from repro.kernel.kernel import Kernel
 from repro.kernel.sockets import FiveTuple
 from repro.kernel.syscalls import Direction, SyscallRecord
+from repro.network.topology import ClusterBuilder
+from repro.network.transport import Network
 from repro.protocols import http1
 from repro.server.assembler import TraceAssembler
 from repro.server.database import SpanStore
+from repro.server.server import DeepFlowServer
 from repro.sim.engine import Simulator
 
 AGENT_EVENTS = 20_000
@@ -135,12 +142,83 @@ def bench_trace_assembly() -> dict:
     }
 
 
+def _overloaded_run(protection: bool) -> dict:
+    """One measurement leg of :func:`bench_overload` (self-contained
+    twin of benchmarks/test_overload_selfprotection.py: same seed, same
+    ramp, so the JSON artifact and the pytest table agree)."""
+    sim = Simulator(seed=11)
+    builder = ClusterBuilder(node_count=1)
+    wrk_pod = builder.add_pod(0, "wrk2-pod")
+    web_pod = builder.add_pod(0, "web-pod")
+    cluster = builder.build()
+    Network(sim, cluster)
+    server = DeepFlowServer()
+    node = cluster.nodes[0]
+    agent = server.new_agent(
+        node.kernel, node=node,
+        config=AgentConfig(perf_buffer_capacity=128,
+                           overload_protection=protection))
+    agent.deploy(mode="full")
+    service = HttpService("web", web_pod.node, 80, pod=web_pod,
+                          service_time=0.00005)
+
+    @service.route("/")
+    def index(worker, request):
+        return Response(200, body=b"ok")
+        yield
+
+    service.start()
+    agent.start_polling(interval=0.01)
+    generator = LoadGenerator(wrk_pod.node, web_pod.ip, 80, rate=1.0,
+                              duration=1.0, connections=16, pod=wrk_pod,
+                              name="wrk2")
+    generator.ramp(100.0, 12_000.0, 1.5)
+    sim.run_process(generator.run())
+    sim.run(until=sim.now + 0.5)
+    agent.flush(expire=True)
+
+    spans = [span for span in server.span_list(0.0, sim.now + 1000.0)
+             if span.kind is SpanKind.SYSCALL]
+    sides: dict = {}
+    errors = 0
+    for span in spans:
+        if span.tags.get("error.kind"):
+            errors += 1
+            continue
+        sides.setdefault((span.flow_key, span.req_tcp_seq),
+                         set()).add(span.side)
+    whole = sum(1 for group in sides.values() if len(group) == 2)
+    torn = sum(1 for group in sides.values() if len(group) < 2) + errors
+    health = agent.health()
+    return {
+        "ring_drops": health["perf"]["dropped"],
+        "ebpf_cost_ms": round(node.kernel.hooks.total_cost_ns / 1e6, 1),
+        "spans": len(spans),
+        "whole_traces": whole,
+        "torn_traces": torn,
+        "trace_completeness": round(whole / max(1, whole + torn), 4),
+        "tier_path": ["FULL"] + [new for _now, _old, new, _reason
+                                 in health.get("transitions", [])],
+    }
+
+
+def bench_overload() -> dict:
+    """Overhead-vs-completeness under a 10x open-loop ramp, protection
+    on vs off (the Fig. 16 analogue)."""
+    return {
+        "ramp_rps": [100, 12_000],
+        "protected": _overloaded_run(True),
+        "unprotected": _overloaded_run(False),
+    }
+
+
 def main(argv: list[str]) -> int:
     out_path = argv[1] if len(argv) > 1 else "BENCH_results.json"
     report = {
         "agent_pipeline": bench_agent_pipeline(),
         "store_ingest": bench_store_ingest(),
         "trace_assembly": bench_trace_assembly(),
+        "overload": bench_overload(),
     }
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
