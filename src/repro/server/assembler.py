@@ -48,9 +48,15 @@ class TraceAssembler:
     start span through shared association keys" is a connected component
     of the association graph, which is exactly what the union-find
     maintains incrementally.
+
+    The *store* may be a single :class:`SpanStore` or a
+    :class:`repro.server.sharding.ShardedSpanStore` — the assembler only
+    needs ``get`` / ``search_new`` / ``component_spans``, and the
+    sharded store implements them as scatter-gather over its shards (the
+    fast path then merges per-shard components across boundaries).
     """
 
-    def __init__(self, store: SpanStore,
+    def __init__(self, store: "SpanStore",
                  iterations: int = DEFAULT_ITERATIONS,
                  enable_queue_relay: bool = True,
                  enable_x_request_id: bool = True,

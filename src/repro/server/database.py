@@ -145,6 +145,14 @@ class SpanStore:
         #: :meth:`component_spans`, or call :meth:`flush` first.
         self.graph = TraceGraphIndex()
         self.search_count = 0
+        #: Optional first-seen-key sink.  When armed (set to a list, as
+        #: :class:`repro.server.sharding.ShardedSpanStore` does per
+        #: shard), the key commit appends one ``(tag, value, span_id)``
+        #: event per *distinct* key the first time this store indexes it
+        #: — piggy-backing boundary-key detection on the posting
+        #: creation the commit already performs.  None (the default)
+        #: costs the commit loop one predicate check per key.
+        self.first_seen_keys: Optional[list[tuple]] = None
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -197,6 +205,7 @@ class SpanStore:
         by_mq = self._by_mq
         links: list[tuple[int, int]] = []
         links_append = links.append
+        log = self.first_seen_keys
         for span in tail[start:]:
             span_id = span.span_id
             value = span.systrace_id
@@ -204,6 +213,8 @@ class SpanStore:
                 ids = by_sys.get(value)
                 if ids is None:
                     by_sys[value] = span_id
+                    if log is not None:
+                        log.append(("sys", value, span_id))
                 elif ids.__class__ is int:
                     links_append((span_id, ids))
                     by_sys[value] = {ids, span_id}
@@ -215,6 +226,8 @@ class SpanStore:
                 ids = by_pt.get(value)
                 if ids is None:
                     by_pt[value] = span_id
+                    if log is not None:
+                        log.append(("pt", value, span_id))
                 elif ids.__class__ is int:
                     links_append((span_id, ids))
                     by_pt[value] = {ids, span_id}
@@ -226,6 +239,8 @@ class SpanStore:
                 ids = by_xr.get(value)
                 if ids is None:
                     by_xr[value] = span_id
+                    if log is not None:
+                        log.append(("xr", value, span_id))
                 elif ids.__class__ is int:
                     links_append((span_id, ids))
                     by_xr[value] = {ids, span_id}
@@ -240,6 +255,8 @@ class SpanStore:
                     ids = by_fs.get(value)
                     if ids is None:
                         by_fs[value] = span_id
+                        if log is not None:
+                            log.append(("fs", value, span_id))
                     elif ids.__class__ is int:
                         links_append((span_id, ids))
                         by_fs[value] = {ids, span_id}
@@ -252,6 +269,8 @@ class SpanStore:
                     ids = by_fs.get(value)
                     if ids is None:
                         by_fs[value] = span_id
+                        if log is not None:
+                            log.append(("fs", value, span_id))
                     elif ids.__class__ is int:
                         links_append((span_id, ids))
                         by_fs[value] = {ids, span_id}
@@ -263,6 +282,8 @@ class SpanStore:
                 ids = by_ot.get(value)
                 if ids is None:
                     by_ot[value] = span_id
+                    if log is not None:
+                        log.append(("ot", value, span_id))
                 elif ids.__class__ is int:
                     links_append((span_id, ids))
                     by_ot[value] = {ids, span_id}
@@ -275,6 +296,8 @@ class SpanStore:
                 ids = by_mq.get(value)
                 if ids is None:
                     by_mq[value] = span_id
+                    if log is not None:
+                        log.append(("mq", value, span_id))
                 elif ids.__class__ is int:
                     links_append((span_id, ids))
                     by_mq[value] = {ids, span_id}
@@ -326,6 +349,16 @@ class SpanStore:
         self._commit_keys()
         self._commit_time_index()
 
+    def commit_keys(self) -> None:
+        """Force only the key-index commit (axes + union-find), leaving
+        the time run deferred — the trace-path subset of :meth:`flush`,
+        used by the sharded store's seal phase."""
+        self._commit_keys()
+
+    def pending_key_count(self) -> int:
+        """How many tail spans the key commit has not yet indexed."""
+        return len(self._tail) - self._keys_committed
+
     def get(self, span_id: int) -> Optional[Span]:
         """Fetch the span by id, or None."""
         return self._spans.get(span_id)
@@ -367,11 +400,23 @@ class SpanStore:
         self._commit_keys()
         self.search_count += 1
         pending_ids, pending_keys = assoc.take_pending()
+        return self.lookup_tagged(pending_ids, pending_keys)
+
+    def lookup_tagged(self, span_ids: Iterable[int],
+                      tagged_keys: Iterable[tuple]) -> set[int]:
+        """Resolve explicit span ids and tagged keys against this
+        store's postings (no commit, no filter bookkeeping).
+
+        The scatter half of the sharded store's fan-out: the router
+        drains one filter's pending frontier once and broadcasts the
+        same id/key lists to every shard through this method.  Callers
+        must have committed keys first.
+        """
         spans_map = self._spans
         result: set[int] = set(
-            span_id for span_id in pending_ids if span_id in spans_map)
+            span_id for span_id in span_ids if span_id in spans_map)
         axis_index = self._axis_index
-        for tag, value in pending_keys:
+        for tag, value in tagged_keys:
             ids = axis_index[tag].get(value)
             if ids is None:
                 continue

@@ -174,6 +174,12 @@ class TraceGraphIndex:
 
     # -- queries ----------------------------------------------------------
 
+    def linked_ids(self):
+        """Read-only view of every span id present in the forest (spans
+        that have shared at least one key; implicit singletons absent).
+        A dict keys view: O(1) membership, live, no copy."""
+        return self._parent.keys()
+
     def find(self, span_id: int) -> int:
         """Component representative of *span_id* (path halving).
 

@@ -14,14 +14,31 @@ from repro.core.span import Span, SpanKind, SpanSide, Trace
 from repro.server.assembler import DEFAULT_ITERATIONS, TraceAssembler
 from repro.server.database import SpanStore
 from repro.server.metricsdb import MetricsDatabase
+from repro.server.sharding import DEFAULT_WINDOW, ShardedSpanStore
 from repro.server.tags import TagRegistry
 
 
 class DeepFlowServer:
-    """Cluster-level collector, store, and query engine."""
+    """Cluster-level collector, store, and query engine.
 
-    def __init__(self, iterations: int = DEFAULT_ITERATIONS):
-        self.store = SpanStore()
+    With ``shards > 1`` the span store is a
+    :class:`repro.server.sharding.ShardedSpanStore`: inserts route to
+    independent shard memtables by association-key hash × time window,
+    and ``trace()`` runs the scatter-gather cross-shard merge — the
+    query API is unchanged either way.  Tenant labels (``ingest_spans``)
+    and cluster labels (``new_agent``) thread through routing and the
+    span-list filters so one server instance models DeepFlow's
+    multi-cluster, multi-tenant deployment.
+    """
+
+    def __init__(self, iterations: int = DEFAULT_ITERATIONS,
+                 shards: int = 1,
+                 shard_window: float = DEFAULT_WINDOW):
+        if shards > 1:
+            self.store = ShardedSpanStore(shards, window=shard_window)
+        else:
+            self.store = SpanStore()
+        self.shards = shards
         self.tags = TagRegistry()
         self.metrics = MetricsDatabase()
         self.assembler = TraceAssembler(self.store, iterations=iterations)
@@ -36,11 +53,17 @@ class DeepFlowServer:
         self._next_agent_index += 1
         return index
 
-    def new_agent(self, kernel, node=None, config=None):
-        """Convenience: create an agent wired to this server."""
+    def new_agent(self, kernel, node=None, config=None, cluster=None):
+        """Convenience: create an agent wired to this server.
+
+        *cluster* labels every resource the agent registers (and hence,
+        via enrichment, every span from its node) with a ``cluster``
+        tag, so multi-cluster deployments stay filterable after their
+        spans merge into shared traces.
+        """
         from repro.agent.agent import DeepFlowAgent
         return DeepFlowAgent(kernel, self.register_agent(), server=self,
-                             node=node, config=config)
+                             node=node, config=config, cluster=cluster)
 
     # -- tag collection (Figure 8 ①–③) ------------------------------------
 
@@ -56,16 +79,25 @@ class DeepFlowServer:
 
     # -- ingestion ---------------------------------------------------------
 
-    def ingest_spans(self, spans: list[Span]) -> None:
+    def ingest_spans(self, spans: list[Span],
+                     tenant: Optional[str] = None) -> None:
         """Enrich and store a batch of spans from an agent.
 
         The whole batch goes through :meth:`SpanStore.insert_many`, so
         the time index is merged once per shipment and the union-find
         merges coalesce, instead of paying per-span index maintenance.
+        When *tenant* is given the label is stamped into each span's
+        tags and, on a sharded store, salts the routing hash so tenants
+        spread across shards independently.
         """
         for span in spans:
             self._enrich(span)
-        self.store.insert_many(spans)
+            if tenant is not None:
+                span.tags.setdefault("tenant", tenant)
+        if tenant is not None and self.shards > 1:
+            self.store.insert_many(spans, tenant=tenant)
+        else:
+            self.store.insert_many(spans)
         self.ingested_spans += len(spans)
 
     def _enrich(self, span: Span) -> None:
@@ -92,10 +124,26 @@ class DeepFlowServer:
     # -- query API (what the front end calls) --------------------------------
 
     def span_list(self, start: float, end: float,
-                  predicate: Optional[Callable[[Span], bool]] = None
-                  ) -> list[Span]:
-        """Spans with start time in [start, end)."""
-        return self.store.span_list(start, end, predicate)
+                  predicate: Optional[Callable[[Span], bool]] = None,
+                  tenant: Optional[str] = None,
+                  cluster: Optional[str] = None) -> list[Span]:
+        """Spans with start time in [start, end).
+
+        *tenant* / *cluster* restrict the result to spans carrying the
+        matching label (labels are filters, not isolation walls: a trace
+        crossing clusters still assembles whole)."""
+        if tenant is None and cluster is None:
+            return self.store.span_list(start, end, predicate)
+
+        def labeled(span: Span) -> bool:
+            tags = span.tags
+            if tenant is not None and tags.get("tenant") != tenant:
+                return False
+            if cluster is not None and tags.get("cluster") != cluster:
+                return False
+            return predicate is None or predicate(span)
+
+        return self.store.span_list(start, end, labeled)
 
     def find_spans(self, **criteria) -> list[Span]:
         """Linear search helper for examples/tests (not a hot path)."""

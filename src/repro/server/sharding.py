@@ -1,0 +1,473 @@
+"""Sharded multi-tenant span store with scatter-gather trace assembly.
+
+DeepFlow's server tier scales ingest and query by partitioning span
+storage across nodes while Algorithm 1 still has to stitch whole traces
+across partition boundaries.  :class:`ShardedSpanStore` reproduces that
+architecture in-process: N independent :class:`repro.server.database.
+SpanStore` shards, a stateless hash router, and a boundary-key layer
+that records association keys observed on more than one shard so
+``trace()`` can merge per-shard union-find components into the global
+component — the exact cross-partition correlation problem CrossTrace
+(arXiv:2508.11342) isolates: association keys do not respect partition
+edges, so assembly must merge components across shards rather than
+assume locality.
+
+Routing
+-------
+A span routes by a stable hash of its *primary* association key (first
+present axis in a fixed priority order: systrace id, X-Request-ID,
+third-party trace id, per-flow request sequence, pseudo-thread, queue
+message key, falling back to the span id) mixed with a **time-window
+index** (``start_time // window``), so one shard owns one key's spans
+within one window and windows can later seal into immutable runs.  A
+tenant label, when given, salts the hash so tenants spread independently.
+The router is stateless — no global span→shard map is maintained; point
+lookups probe the shards (queries are orders of magnitude rarer than
+inserts, and keeping ingest memory flat is the point of sharding).
+
+Each shard keeps its own write-optimized memtable discipline: routing a
+batch costs one hash per span, and the shard-side insert stays register
++ tail append.  All index maintenance still commits lazily per shard.
+
+Boundary keys and scatter-gather trace()
+----------------------------------------
+Because routing uses one key and windowing splits even that key across
+time, spans sharing *any* association key can land on different shards.
+Each shard's key commit logs the keys it sees for the **first time**
+(one event per distinct key per shard, piggy-backed on the posting
+creation it already performs); the router buckets those events by a
+stable hash of the key into *boundary partitions* (the model of a
+hash-partitioned association-key service), and each partition's table
+maps key → first owning (shard, span).  A key observed from a second
+shard contributes one link to a small cross-shard union-find over span
+ids.  ``component_ids`` then runs scatter-gather: fetch the start
+span's per-shard component, follow boundary links to components on
+other shards, and repeat to the fixed point.  The merged component
+provably equals what a single unsharded store returns (the boundary
+links restore exactly the cross-shard shared-key edges; the property
+tests in tests/test_trace_index_properties.py hold the two in lock
+step for shard counts up to 8).
+
+The seal/merge phases are exposed separately (:meth:`seal_shard`,
+:meth:`probe_partition`, :meth:`apply_boundary_links`) so the scaling
+benchmark can price each parallelizable phase on its own; callers that
+don't care use :meth:`flush` or just query (queries trigger the commits
+they need, same as the unsharded store).
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from typing import Callable, Iterable, Optional
+
+from repro.core.span import Span
+from repro.server.database import AssociationFilter, SpanStore
+from repro.server.index import TraceGraphIndex
+
+__all__ = ["DEFAULT_WINDOW", "MAX_SHARDS", "ShardedSpanStore"]
+
+#: Default routing time-window, seconds.  Matches the agent's default
+#: session slot: one window of one key's spans lands on one shard.
+DEFAULT_WINDOW = 60.0
+
+#: Shard indexes are packed into the low bits of the boundary owner
+#: table's values, so the fleet size is bounded (generously).
+MAX_SHARDS = 64
+
+#: Knuth/Fibonacci multiplicative mixers for integer routing keys.
+_MIX_KEY = 0x9E3779B1
+_MIX_WINDOW = 0x85EBCA6B
+
+
+def _slow_route_hash(value: object) -> int:
+    """Stable hash for the rare non-int routing keys (tuples: the
+    pseudo-thread key, the flow key).  Allocates; the router's fast
+    path never reaches here for spans carrying an integer axis."""
+    return zlib.crc32(repr(value).encode("utf-8", "surrogatepass"))
+
+
+def _partition_hash(tag: str, value: object) -> int:
+    """Stable partition index source for one tagged boundary key."""
+    if value.__class__ is int:
+        inner = value * _MIX_KEY
+    else:
+        inner = zlib.crc32(repr(value).encode("utf-8", "surrogatepass"))
+    return zlib.crc32(tag.encode("ascii")) ^ (inner & 0xFFFFFFFF)
+
+
+class ShardedSpanStore:
+    """N-way sharded span store presenting the ``SpanStore`` query API.
+
+    Drop-in for :class:`repro.server.assembler.TraceAssembler`: both the
+    union-find fast path (``component_spans``) and the iterative
+    Algorithm 1 reference (``get`` / ``search_new``) work unchanged,
+    the latter fanning each round's frontier keys out to every shard.
+    """
+
+    def __init__(self, shard_count: int = 4, *,
+                 window: float = DEFAULT_WINDOW,
+                 boundary_partitions: Optional[int] = None) -> None:
+        if not 1 <= shard_count <= MAX_SHARDS:
+            raise ValueError(
+                f"shard_count must be in [1, {MAX_SHARDS}]")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.shard_count = shard_count
+        self.window = window
+        self.partition_count = boundary_partitions or shard_count
+        if self.partition_count < 1:
+            raise ValueError("boundary_partitions must be >= 1")
+        self.shards: list[SpanStore] = []
+        for _ in range(shard_count):
+            shard = SpanStore()
+            # Arm the first-seen-key log: the boundary layer consumes it.
+            shard.first_seen_keys = []
+            self.shards.append(shard)
+        #: Cross-shard union-find over span ids; only spans whose key was
+        #: observed on a second shard ever enter it.
+        self.boundary = TraceGraphIndex()
+        #: Per-partition boundary-key table: tagged key → packed
+        #: ``(span_id << 6) | shard_index`` of the first observer.
+        self._owners: list[dict[tuple, int]] = [
+            {} for _ in range(self.partition_count)]
+        #: Per-partition buckets of (tag, value, span_id, shard) events
+        #: sealed but not yet probed.
+        self._buckets: list[list[tuple]] = [
+            [] for _ in range(self.partition_count)]
+        self.search_count = 0
+        #: Cross-shard links applied so far (observability: how much of
+        #: the keyspace actually straddles shards).
+        self.boundary_links = 0
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, span: Span, salt: int) -> int:
+        """Shard index for one span: primary-key hash × time window.
+
+        Allocation-free on the common path — integer axes mix with
+        multiplicative constants; only tuple-keyed spans fall through to
+        the (cold) repr/crc32 helper.
+        """
+        window = int(span.start_time / self.window)
+        value = span.systrace_id
+        if value is not None:
+            h = value * _MIX_KEY
+        else:
+            text = span.x_request_id
+            if text:
+                h = zlib.crc32(text.encode("utf-8"))
+            else:
+                text = span.otel_trace_id
+                if text:
+                    h = zlib.crc32(text.encode("utf-8"))
+                elif span.flow_key is not None \
+                        and span.req_tcp_seq is not None:
+                    h = (_slow_route_hash(span.flow_key)
+                         + span.req_tcp_seq * _MIX_KEY)
+                elif span.pseudo_thread_key:
+                    h = _slow_route_hash(span.pseudo_thread_key)
+                elif span.message_id is not None:
+                    h = span.message_id * _MIX_KEY
+                else:
+                    h = span.span_id * _MIX_KEY
+        h += window * _MIX_WINDOW + salt
+        h ^= h >> 16
+        return h % self.shard_count
+
+    @staticmethod
+    def _tenant_salt(tenant: Optional[str]) -> int:
+        """Routing salt for a tenant label (0 for the default tenant)."""
+        if not tenant:
+            return 0
+        return zlib.crc32(tenant.encode("utf-8"))
+
+    def route_batches(self, spans: Iterable[Span],
+                      tenant: Optional[str] = None) -> list[list[Span]]:
+        """Partition *spans* into per-shard insert batches (pure)."""
+        batches: list[list[Span]] = [[] for _ in range(self.shard_count)]
+        salt = self._tenant_salt(tenant)
+        route = self._route
+        for span in spans:
+            batches[route(span, salt)].append(span)
+        return batches
+
+    # -- ingest ------------------------------------------------------------
+
+    def insert(self, span: Span, tenant: Optional[str] = None) -> None:
+        """Route and register one span."""
+        self.insert_many((span,), tenant=tenant)
+
+    def insert_many(self, spans: Iterable[Span],
+                    tenant: Optional[str] = None) -> None:
+        """Route each span and register it with its shard.
+
+        Ingest pays one routing hash plus the shard's register + tail
+        append per span; every index — per-shard secondary indexes,
+        per-shard union-find, time runs, and the cross-shard boundary
+        table — catches up lazily when a query (or :meth:`flush`) needs
+        it.  When *tenant* is given the label is stamped into
+        ``span.tags`` and salted into the route.
+
+        Duplicate span ids are rejected per shard (same guarantee a
+        distributed deployment can give without a global id service);
+        two *different* spans reusing one id may land on two shards
+        undetected — span ids are allocator-unique by construction.
+        """
+        salt = self._tenant_salt(tenant)
+        shards = self.shards
+        route = self._route
+        if tenant:
+            for span in spans:
+                span.tags.setdefault("tenant", tenant)
+                shards[route(span, salt)].insert(span)
+            return
+        # Batch per shard so each shard's insert_many runs one tight
+        # loop (duplicate check + append) over its share.
+        batches = self.route_batches(spans)
+        for shard, batch in zip(shards, batches):
+            if batch:
+                shard.insert_many(batch)
+
+    # -- commit / seal phases ---------------------------------------------
+
+    def seal_shard(self, shard_index: int) -> int:
+        """Commit one shard's deferred indexes and bucket its first-seen
+        keys by boundary partition.  Returns the number of key events
+        sealed.  Per-shard work: in the modeled deployment every shard
+        server runs this phase in parallel."""
+        shard = self.shards[shard_index]
+        shard.flush()
+        log = shard.first_seen_keys
+        if not log:
+            return 0
+        shard.first_seen_keys = []
+        buckets = self._buckets
+        count = self.partition_count
+        sealed = 0
+        for tag, value, span_id in log:
+            index = _partition_hash(tag, value) % count
+            buckets[index].append((tag, value, span_id, shard_index))
+            sealed += 1
+        return sealed
+
+    def probe_partition(self, partition: int) -> list[tuple[int, int]]:
+        """Probe one boundary partition's owner table with its sealed key
+        events; returns the cross-shard links discovered.  Per-partition
+        work: partitions model independent slices of a hash-partitioned
+        association-key service and run in parallel in the deployment
+        this reproduces."""
+        bucket = self._buckets[partition]
+        if not bucket:
+            return []
+        self._buckets[partition] = []
+        owners = self._owners[partition]
+        links: list[tuple[int, int]] = []
+        links_append = links.append
+        for tag, value, span_id, shard_index in bucket:
+            key = (tag, value)
+            packed = owners.get(key)
+            if packed is None:
+                owners[key] = (span_id << 6) | shard_index
+            elif (packed & 63) != shard_index:
+                # Key straddles shards: link this shard's first carrier
+                # to the owning shard's representative.
+                links_append((span_id, packed >> 6))
+            # Same-shard re-observation cannot happen (the shard logs a
+            # key once), so any other case is already linked.
+        return links
+
+    def apply_boundary_links(self,
+                             links: Iterable[tuple[int, int]]) -> None:
+        """Merge discovered cross-shard links into the boundary forest."""
+        links = list(links)
+        if links:
+            self.boundary.link_batch(links)
+            self.boundary_links += len(links)
+
+    def merge_boundaries(self) -> None:
+        """Run every partition probe and apply the discovered links."""
+        for partition in range(self.partition_count):
+            links = self.probe_partition(partition)
+            if links:
+                self.boundary.link_batch(links)
+                self.boundary_links += len(links)
+
+    def flush(self) -> None:
+        """Force all deferred maintenance: shard commits, boundary seal,
+        partition probes, and the cross-shard merge."""
+        for shard_index in range(self.shard_count):
+            self.seal_shard(shard_index)
+        self.merge_boundaries()
+
+    def _ensure_traceable(self) -> None:
+        """Bring key indexes and the boundary forest up to date (the
+        lazy-commit step trace queries trigger)."""
+        dirty = False
+        for shard_index, shard in enumerate(self.shards):
+            if shard.first_seen_keys or shard.pending_key_count():
+                shard.commit_keys()
+                log = shard.first_seen_keys
+                if log:
+                    shard.first_seen_keys = []
+                    buckets = self._buckets
+                    count = self.partition_count
+                    for tag, value, span_id in log:
+                        index = _partition_hash(tag, value) % count
+                        buckets[index].append(
+                            (tag, value, span_id, shard_index))
+                dirty = True
+        if dirty or any(self._buckets):
+            self.merge_boundaries()
+
+    # -- point lookups -----------------------------------------------------
+
+    def get(self, span_id: int) -> Optional[Span]:
+        """Fetch a span by id, probing the shards."""
+        for shard in self.shards:
+            span = shard.get(span_id)
+            if span is not None:
+                return span
+        return None
+
+    def shard_of(self, span_id: int) -> Optional[int]:
+        """Which shard holds *span_id* (None if unknown)."""
+        for index, shard in enumerate(self.shards):
+            if shard.get(span_id) is not None:
+                return index
+        return None
+
+    def all_spans(self) -> list[Span]:
+        """Every stored span across all shards."""
+        out: list[Span] = []
+        for shard in self.shards:
+            out.extend(shard.all_spans())
+        return out
+
+    # -- Algorithm 1 support (scatter-gather) ------------------------------
+
+    def component_ids(self, span_id: int) -> set[int]:
+        """The span's whole trace component, merged across shards.
+
+        Scatter-gather fixed point: start with the owning shard's local
+        union-find component, then follow boundary links to components
+        on other shards until no new span appears.  Cost is O(result)
+        dict probes — independent of total store size, preserving the
+        flat Fig-15 query-delay curve under sharding.
+        """
+        home = self._owning_store(span_id)
+        if home is None:
+            raise KeyError(f"unknown span id {span_id}")
+        self._ensure_traceable()
+        boundary = self.boundary
+        linked = boundary.linked_ids()
+        component = boundary.component
+        result: set[int] = set()
+        stack = [span_id]
+        store = home
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            if current != span_id:
+                store = self._owning_store(current)
+                if store is None:  # boundary rep of a foreign tenant? no:
+                    continue       # defensive — links only cite stored ids
+            local = store.component_ids(current)
+            result |= local
+            for member in local:
+                if member in linked:
+                    for other in component(member):
+                        if other not in result:
+                            stack.append(other)
+        return result
+
+    def component_spans(self, span_id: int) -> list[Span]:
+        """Every span in *span_id*'s merged cross-shard component."""
+        get = self.get
+        return [get(member) for member in self.component_ids(span_id)]
+
+    def _owning_store(self, span_id: int) -> Optional[SpanStore]:
+        for shard in self.shards:
+            if shard.get(span_id) is not None:
+                return shard
+        return None
+
+    def search(self, assoc: AssociationFilter,
+               tenant: Optional[str] = None) -> set[int]:
+        """Scatter one Algorithm 1 filter to every shard; union the
+        matches (optionally restricted to one tenant's spans)."""
+        self.search_count += 1
+        result: set[int] = set()
+        for shard in self.shards:
+            result |= shard.search(assoc)
+        if tenant is not None:
+            get = self.get
+            result = {span_id for span_id in result
+                      if (span := get(span_id)) is not None
+                      and span.tags.get("tenant") == tenant}
+        return result
+
+    def search_new(self, assoc: AssociationFilter) -> set[int]:
+        """Scatter the filter's not-yet-queried keys to every shard.
+
+        The pending frontier is drained once and broadcast, so the
+        iterative reference path costs one fan-out per round regardless
+        of which shards hold the matching postings.
+        """
+        self.search_count += 1
+        pending_ids, pending_keys = assoc.take_pending()
+        result: set[int] = set()
+        for shard in self.shards:
+            shard.commit_keys()
+            result |= shard.lookup_tagged(pending_ids, pending_keys)
+        return result
+
+    # -- span-list queries (Fig 15) ----------------------------------------
+
+    def span_list(self, start: float, end: float,
+                  predicate: Optional[Callable[[Span], bool]] = None,
+                  tenant: Optional[str] = None) -> list[Span]:
+        """Spans with start_time in [start, end): k-way merge of the
+        shards' sorted time runs, optionally filtered by predicate
+        and/or tenant label."""
+        runs = [shard.span_list(start, end) for shard in self.shards]
+        runs = [run for run in runs if run]
+        if len(runs) == 1:
+            merged: Iterable[Span] = runs[0]
+        elif runs:
+            merged = heapq.merge(
+                *runs, key=lambda span: (span.start_time, span.span_id))
+        else:
+            merged = ()
+        if tenant is None and predicate is None:
+            return list(merged)
+        out: list[Span] = []
+        for span in merged:
+            if tenant is not None and span.tags.get("tenant") != tenant:
+                continue
+            if predicate is not None and not predicate(span):
+                continue
+            out.append(span)
+        return out
+
+    # -- observability -----------------------------------------------------
+
+    def shard_stats(self) -> dict:
+        """Balance and boundary-pressure counters."""
+        sizes = [len(shard) for shard in self.shards]
+        total = sum(sizes)
+        return {
+            "shards": self.shard_count,
+            "partitions": self.partition_count,
+            "spans": total,
+            "shard_sizes": sizes,
+            "imbalance": (max(sizes) * self.shard_count / total
+                          if total else 1.0),
+            "boundary_keys": sum(len(t) for t in self._owners),
+            "boundary_links": self.boundary_links,
+            "boundary_spans": len(self.boundary),
+        }

@@ -17,7 +17,7 @@ from repro.server.server import DeepFlowServer
 from repro.sim.engine import Simulator
 
 
-def build_two_clusters():
+def build_two_clusters(shards=1, cluster_labels=False):
     sim = Simulator(seed=44)
     builder_a = ClusterBuilder(name="cluster-a", node_count=2)
     lg_pod = builder_a.add_pod(0, "loadgen-pod")
@@ -35,11 +35,13 @@ def build_two_clusters():
                        latency=200e-6, tags={"cluster": "cluster-b"})]
     network.add_cluster(cluster_b, backbone=backbone)
 
-    server = DeepFlowServer()
+    server = DeepFlowServer(shards=shards)
     agents = []
     for cluster in network.clusters:
         for node in cluster.nodes:
-            agent = server.new_agent(node.kernel, node=node)
+            agent = server.new_agent(
+                node.kernel, node=node,
+                cluster=cluster.name if cluster_labels else None)
             agent.deploy()
             agents.append(agent)
 
@@ -87,9 +89,10 @@ class TestCrossClusterRouting:
 
 
 class TestCrossClusterTracing:
-    def run_traffic(self):
+    def run_traffic(self, shards=1, cluster_labels=False):
         (sim, network, server, agents, lg_pod, fe_pod, be_pod,
-         backbone) = build_two_clusters()
+         backbone) = build_two_clusters(shards=shards,
+                                        cluster_labels=cluster_labels)
         # Tap the backbone (WAN mirroring).
         for device in backbone:
             agents[0].enable_capture(device)
@@ -130,3 +133,51 @@ class TestCrossClusterTracing:
         # Ordered along the path and fully parented.
         ordered = sorted(wan_spans, key=lambda span: span.path_index)
         assert ordered[1].parent_id == ordered[0].span_id
+
+
+class TestShardedMulticluster:
+    """The same two-cluster deployment against a sharded server: the
+    scatter-gather trace must equal the unsharded one span for span,
+    and cluster labels must thread from agents into the query filters.
+    """
+
+    def test_sharded_trace_equals_unsharded(self):
+        runner = TestCrossClusterTracing()
+        _report, plain, _ = runner.run_traffic()
+        _report, sharded, _ = runner.run_traffic(shards=4)
+        # Deterministic sim: both runs produce identical span sets.
+        start = plain.slowest_span().span_id
+        assert sharded.slowest_span().span_id == start
+        plain_ids = sorted(s.span_id for s in plain.trace(start))
+        sharded_ids = sorted(s.span_id for s in sharded.trace(start))
+        assert plain_ids == sharded_ids
+        assert sharded.store.shard_stats()["boundary_spans"] >= 0
+
+    def test_sharded_trace_spans_both_clusters(self):
+        runner = TestCrossClusterTracing()
+        _report, server, _ = runner.run_traffic(shards=8,
+                                                cluster_labels=True)
+        trace = server.trace(server.slowest_span().span_id)
+        assert len(trace.roots()) == 1
+        processes = {span.process_name for span in trace
+                     if span.kind is SpanKind.SYSCALL}
+        assert {"loadgen", "frontend", "backend"} <= processes
+
+    def test_cluster_labels_filter_span_list(self):
+        runner = TestCrossClusterTracing()
+        _report, server, _ = runner.run_traffic(shards=4,
+                                                cluster_labels=True)
+        everything = server.span_list(0.0, float("inf"))
+        only_a = server.span_list(0.0, float("inf"), cluster="cluster-a")
+        only_b = server.span_list(0.0, float("inf"), cluster="cluster-b")
+        assert only_a and only_b
+        assert all(s.tags.get("cluster") == "cluster-a" for s in only_a)
+        assert all(s.tags.get("cluster") == "cluster-b" for s in only_b)
+        assert len(only_a) + len(only_b) <= len(everything)
+        # frontend runs in cluster-a, backend in cluster-b.
+        assert "frontend" in {s.process_name for s in only_a}
+        assert "backend" in {s.process_name for s in only_b}
+        # Labels filter views; they never split the assembled trace.
+        trace = server.trace(server.slowest_span().span_id)
+        clusters = {s.tags.get("cluster") for s in trace} - {None}
+        assert clusters == {"cluster-a", "cluster-b"}

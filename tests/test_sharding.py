@@ -1,0 +1,216 @@
+"""Unit tests for the sharded span store: routing, tenancy, boundaries.
+
+The equivalence of scatter-gather ``trace()`` with a single unsharded
+store is property-tested in test_trace_index_properties.py; this file
+pins the mechanics — deterministic routing, the seal/probe/merge phase
+APIs the scaling benchmark prices separately, tenant label threading,
+and the observability counters.
+"""
+
+import pytest
+
+from repro.core.span import Span, SpanKind, SpanSide
+from repro.server.database import SpanStore
+from repro.server.sharding import MAX_SHARDS, ShardedSpanStore
+
+
+def make_span(span_id, *, systrace=None, xreq=None, start=1.0, **extra):
+    return Span(span_id=span_id, kind=SpanKind.SYSCALL,
+                side=SpanSide.CLIENT, start_time=start,
+                end_time=start + 0.01, systrace_id=systrace,
+                x_request_id=xreq, **extra)
+
+
+class TestRouting:
+    def test_routing_is_deterministic(self):
+        store = ShardedSpanStore(4)
+        span = make_span(1, systrace=77)
+        assert store._route(span, 0) == store._route(span, 0)
+
+    def test_same_key_same_window_same_shard(self):
+        store = ShardedSpanStore(8, window=60.0)
+        spans = [make_span(i, systrace=42, start=float(i)) for i in range(20)]
+        shards = {store._route(span, 0) for span in spans}
+        assert len(shards) == 1
+
+    def test_windows_split_one_key_across_shards(self):
+        store = ShardedSpanStore(8, window=1.0)
+        spans = [make_span(i, systrace=42, start=float(i) * 10)
+                 for i in range(32)]
+        shards = {store._route(span, 0) for span in spans}
+        assert len(shards) > 1
+
+    def test_keys_spread_across_shards(self):
+        store = ShardedSpanStore(4)
+        batches = store.route_batches(
+            make_span(i, systrace=i) for i in range(400))
+        sizes = [len(batch) for batch in batches]
+        assert sum(sizes) == 400
+        assert min(sizes) > 0
+        # No shard should carry a wildly disproportionate share.
+        assert max(sizes) < 3 * (400 // 4)
+
+    def test_route_batches_is_pure(self):
+        store = ShardedSpanStore(4)
+        spans = [make_span(i, systrace=i) for i in range(10)]
+        store.route_batches(spans)
+        assert len(store) == 0
+
+    def test_keyless_span_routes_by_span_id(self):
+        store = ShardedSpanStore(4)
+        spans = [make_span(i) for i in range(100)]
+        store.insert_many(spans)
+        assert len(store) == 100
+        # Keyless spans are singleton components on whatever shard.
+        assert store.component_ids(7) == {7}
+
+    def test_tenant_salt_changes_spread(self):
+        store = ShardedSpanStore(8)
+        spans = [make_span(i, systrace=i) for i in range(200)]
+        default = [store._route(s, 0) for s in spans]
+        salted = [store._route(s, store._tenant_salt("acme")) for s in spans]
+        assert default != salted
+
+    def test_shard_count_bounds(self):
+        with pytest.raises(ValueError):
+            ShardedSpanStore(0)
+        with pytest.raises(ValueError):
+            ShardedSpanStore(MAX_SHARDS + 1)
+        with pytest.raises(ValueError):
+            ShardedSpanStore(2, window=0.0)
+
+
+class TestIngest:
+    def test_duplicate_id_on_same_shard_rejected(self):
+        store = ShardedSpanStore(4)
+        span = make_span(5, systrace=1)
+        store.insert(span)
+        with pytest.raises(ValueError):
+            store.insert(make_span(5, systrace=1))
+
+    def test_get_probes_shards(self):
+        store = ShardedSpanStore(4)
+        spans = [make_span(i, systrace=i) for i in range(50)]
+        store.insert_many(spans)
+        for span in spans:
+            assert store.get(span.span_id) is span
+        assert store.get(999) is None
+        assert store.shard_of(999) is None
+        owner = store.shard_of(3)
+        assert store.shards[owner].get(3) is spans[3]
+
+    def test_all_spans_unions_shards(self):
+        store = ShardedSpanStore(3)
+        spans = [make_span(i, systrace=i % 7) for i in range(60)]
+        store.insert_many(spans)
+        assert {s.span_id for s in store.all_spans()} == set(range(60))
+        assert len(store) == 60
+
+
+class TestBoundaryPhases:
+    def build(self):
+        # Two spans per systrace id, windows forced apart so each pair
+        # straddles shards with high likelihood.
+        store = ShardedSpanStore(4, window=1.0)
+        spans = []
+        for trace_id in range(30):
+            spans.append(make_span(2 * trace_id, systrace=trace_id,
+                                   start=0.5))
+            spans.append(make_span(2 * trace_id + 1, systrace=trace_id,
+                                   start=100.5))
+        store.insert_many(spans)
+        return store, spans
+
+    def test_seal_then_probe_then_merge(self):
+        store, spans = self.build()
+        sealed = sum(store.seal_shard(i) for i in range(store.shard_count))
+        assert sealed > 0  # every distinct (key, shard) logged once
+        links = []
+        for partition in range(store.partition_count):
+            links.extend(store.probe_partition(partition))
+        assert links  # straddling keys were found
+        store.apply_boundary_links(links)
+        for trace_id in range(30):
+            assert store.component_ids(2 * trace_id) == {
+                2 * trace_id, 2 * trace_id + 1}
+
+    def test_flush_is_equivalent_and_idempotent(self):
+        store, spans = self.build()
+        store.flush()
+        store.flush()
+        stats = store.shard_stats()
+        assert stats["boundary_keys"] > 0
+        for trace_id in range(30):
+            assert store.component_ids(2 * trace_id) == {
+                2 * trace_id, 2 * trace_id + 1}
+
+    def test_queries_trigger_phases_lazily(self):
+        store, spans = self.build()
+        # No explicit flush/seal: component_ids must do it all.
+        assert store.component_ids(0) == {0, 1}
+        assert store.boundary_links > 0
+
+    def test_shard_stats_shape(self):
+        store, spans = self.build()
+        store.flush()
+        stats = store.shard_stats()
+        assert stats["spans"] == 60
+        assert stats["shards"] == 4
+        assert sum(stats["shard_sizes"]) == 60
+        assert stats["imbalance"] >= 1.0
+        assert stats["boundary_spans"] >= stats["boundary_links"]
+
+
+class TestTenancy:
+    def test_tenant_label_stamped_and_filterable(self):
+        store = ShardedSpanStore(4)
+        acme = [make_span(i, systrace=i, start=1.0) for i in range(10)]
+        globex = [make_span(100 + i, systrace=50 + i, start=2.0)
+                  for i in range(10)]
+        store.insert_many(acme, tenant="acme")
+        store.insert_many(globex, tenant="globex")
+        assert all(s.tags["tenant"] == "acme" for s in acme)
+        listed = store.span_list(0.0, 10.0, tenant="acme")
+        assert {s.span_id for s in listed} == set(range(10))
+        # Time order is preserved inside the filter.
+        both = store.span_list(0.0, 10.0)
+        assert [s.span_id for s in both] == sorted(
+            range(10)) + sorted(range(100, 110))
+
+    def test_search_tenant_filter(self):
+        from repro.server.database import AssociationFilter
+        store = ShardedSpanStore(2)
+        a = make_span(1, systrace=9)
+        b = make_span(2, systrace=9)
+        store.insert_many([a], tenant="acme")
+        store.insert_many([b], tenant="globex")
+        assoc = AssociationFilter()
+        assoc.absorb(a)
+        assert store.search(assoc) == {1, 2}
+        assoc2 = AssociationFilter()
+        assoc2.absorb(a)
+        assert store.search(assoc2, tenant="acme") == {1}
+
+    def test_labels_do_not_partition_traces(self):
+        """Labels are filters, not walls: two tenants' spans sharing an
+        association key still form one component (the multi-cluster
+        deployment shares the backbone)."""
+        store = ShardedSpanStore(4)
+        a = make_span(1, xreq="shared")
+        b = make_span(2, xreq="shared")
+        store.insert_many([a], tenant="acme")
+        store.insert_many([b], tenant="globex")
+        assert store.component_ids(1) == {1, 2}
+
+
+class TestSingleShardDegenerate:
+    def test_one_shard_matches_plain_store(self):
+        spans = [make_span(i, systrace=i % 5) for i in range(40)]
+        single = SpanStore()
+        single.insert_many(spans)
+        sharded = ShardedSpanStore(1)
+        sharded.insert_many(spans)
+        for span in spans:
+            assert (sharded.component_ids(span.span_id)
+                    == single.component_ids(span.span_id))
+        assert sharded.boundary_links == 0  # nothing can straddle

@@ -20,6 +20,7 @@ from repro.core.span import Span, SpanKind, SpanSide
 from repro.server.assembler import TraceAssembler
 from repro.server.database import SpanStore
 from repro.server.index import association_keys
+from repro.server.sharding import ShardedSpanStore
 
 #: Small key domains keep the random association graphs densely
 #: connected, so the iterative reference converges far below the
@@ -161,6 +162,61 @@ def test_assemble_span_set_stable_under_ablations(spans, queue_relay,
     trace = assembler.assemble(start)
     assert ({span.span_id for span in trace}
             == _oracle_component(spans, start))
+
+
+@settings(max_examples=80, deadline=None)
+@given(spans=span_lists(),
+       shards=st.integers(min_value=1, max_value=8),
+       window=st.sampled_from([0.5, 2.0, 60.0]),
+       cut=st.integers(min_value=0, max_value=100),
+       query_between=st.booleans())
+def test_sharded_components_match_unsharded(spans, shards, window,
+                                            cut, query_between):
+    """Scatter-gather `trace()` over N shards == one unsharded store ==
+    the BFS oracle, for every start span.
+
+    The small key domains make cross-shard keys the common case, and a
+    sub-second routing window splits even single-key traces across
+    shards — the boundary merge has to recover both.  Mid-stream queries
+    force per-shard commits and boundary probes to interleave with later
+    inserts.
+    """
+    single = SpanStore()
+    single.insert_many(spans)
+    sharded = ShardedSpanStore(shards, window=window)
+    cut = cut % len(spans)
+    sharded.insert_many(spans[:cut])
+    if query_between and cut:
+        # Trigger the seal/probe/merge machinery mid-stream: later
+        # inserts must extend the boundary tables, not corrupt them.
+        sharded.component_ids(spans[0].span_id)
+        sharded.span_list(0.0, float("inf"))
+    for span in spans[cut:]:
+        sharded.insert(span)
+    for span in spans:
+        merged = sharded.component_ids(span.span_id)
+        assert merged == single.component_ids(span.span_id)
+        assert merged == _oracle_component(spans, span.span_id)
+    # The time-ordered view survives sharding too (k-way merge).
+    assert ([s.span_id for s in sharded.span_list(0.0, float("inf"))]
+            == [s.span_id for s in single.span_list(0.0, float("inf"))])
+
+
+@settings(max_examples=40, deadline=None)
+@given(spans=span_lists(), shards=st.integers(min_value=2, max_value=8))
+def test_sharded_fast_path_matches_iterative_reference(spans, shards):
+    """Over a sharded store, the assembler's union-find fast path and
+    the iterative Algorithm 1 reference (which fans each round's
+    frontier keys out to every shard) stay equivalent."""
+    sharded = ShardedSpanStore(shards, window=1.0)
+    sharded.insert_many(spans)
+    assembler = _assembler(sharded)
+    for span in spans:
+        fast = {s.span_id for s in assembler.collect(span.span_id)}
+        reference = {s.span_id
+                     for s in assembler.collect_iterative(span.span_id)}
+        assert fast == reference
+        assert fast == _oracle_component(spans, span.span_id)
 
 
 @settings(max_examples=60, deadline=None)

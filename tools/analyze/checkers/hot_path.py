@@ -49,6 +49,7 @@ CHECKER_NAME = "hot-path"
 #: class name → method-name predicates seeding the hot closure.
 HOT_SEEDS: dict[str, tuple[str, ...]] = {
     "SpanStore": ("insert", "insert_many"),
+    "ShardedSpanStore": ("insert", "insert_many", "route_batches"),
     "TraceGraphIndex": ("add_span", "add", "link", "link_batch", "find"),
     "DeepFlowAgent": ("poll", "_process_event", "_dispatch_slow",
                       "_process_coroutine_event", "_process_close_event",
@@ -64,6 +65,10 @@ ALLOC_FREE_SEEDS: dict[str, tuple[str, ...]] = {
     "TokenBucket": ("allow",),
     "HeadSampler": ("admit",),
     "OverloadController": ("tick",),
+    # The shard router runs once per ingested span; its integer-axis
+    # fast path must stay allocation-free (the tuple-key fallback lives
+    # in the cold _slow_route_hash helper, deliberately not listed).
+    "ShardedSpanStore": ("_route",),
 }
 
 ALLOC_CALLS = {"list", "dict", "set", "tuple", "frozenset", "sorted"}

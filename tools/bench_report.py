@@ -1,24 +1,44 @@
 """Emit BENCH_results.json: the headline numbers of the perf work.
 
 Runs the hot-path measurements this repo optimizes — agent pipeline
-throughput, span-store ingest, and Algorithm 1 trace assembly
-(incremental trace-graph index vs the iterative reference) — plus the
-overload self-protection trade (overhead vs trace completeness under a
-10x ramp, protection on vs off), and writes them as one JSON document,
-so perf regressions show up as a diffable artifact rather than
-scrolling benchmark logs.
+throughput, span-store ingest, Algorithm 1 trace assembly (incremental
+trace-graph index vs the iterative reference), sharded-store ingest
+scaling with the scatter-gather query delay — plus the overload
+self-protection trade (overhead vs trace completeness under a 10x ramp,
+protection on vs off), and writes them as one JSON document, so perf
+regressions show up as a diffable artifact rather than scrolling
+benchmark logs.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py [output.json]
+    PYTHONPATH=src python tools/bench_report.py fresh.json \\
+        --check BENCH_results.json [--threshold 0.2]
+
+``--check`` compares the fresh run against a committed baseline and
+exits non-zero when any gated throughput metric drops by more than the
+threshold (default 20%) — the committed numbers can only regress
+loudly.  The fresh report is written either way, so CI keeps the
+artifact of the failing run.
 
 The workloads intentionally mirror the pytest benchmarks
-(benchmarks/test_agent_throughput.py, benchmarks/test_scale.py): same
-shapes, same sizes, so the numbers are comparable across both harnesses.
+(benchmarks/test_agent_throughput.py, benchmarks/test_scale.py,
+benchmarks/test_sharding_scale.py): same shapes, same sizes, so the
+numbers are comparable across both harnesses.
+
+The sharded numbers report two throughputs per shard count: ``serial``
+(wall clock of this single-process run) and ``modeled`` (router cost
+taken as the max over a fixed fleet of routing clients, shard and
+boundary-partition phase costs taken as the max over their members —
+the phases a sharded deployment runs on independent nodes).  The
+modeled figure is the scaling headline; the serial figure keeps the
+accounting honest.
 """
 
 from __future__ import annotations
 
+import argparse
+import gc
 import json
 import sys
 import time
@@ -36,12 +56,31 @@ from repro.protocols import http1
 from repro.server.assembler import TraceAssembler
 from repro.server.database import SpanStore
 from repro.server.server import DeepFlowServer
+from repro.server.sharding import ShardedSpanStore
 from repro.sim.engine import Simulator
 
 AGENT_EVENTS = 20_000
 STORE_SPANS = 50_000
 TRACE_CHAIN = 24
 TRACE_QUERIES = 200
+SHARD_COUNTS = (1, 2, 4, 8)
+#: Modeled size of the routing fleet: agents route client-side (the
+#: router is stateless), so routing cost divides across the agent fleet
+#: regardless of how many shards it feeds.
+ROUTER_CLIENTS = 8
+SHARD_WINDOW = 0.5
+
+#: Dotted paths of higher-is-better metrics the --check gate compares.
+#: Paths missing from the baseline are skipped, so new sections land
+#: without a flag day.
+GATED_METRICS = (
+    "agent_pipeline.events_per_second",
+    "store_ingest.insert_rate_spans_per_second",
+    "store_ingest.ingest_to_queryable_spans_per_second",
+    "trace_assembly.speedup",
+    "sharding.scaling.4.modeled_spans_per_second",
+    "sharding.speedup_1_to_4",
+)
 
 
 def bench_agent_pipeline() -> dict:
@@ -64,12 +103,20 @@ def bench_agent_pipeline() -> dict:
                 exit_time=t + 1e-5, direction=direction, abi=abi,
                 byte_len=len(payload), payload=payload,
                 ret=len(payload), host_name="node-1"))
-    sim = Simulator(seed=1)
-    agent = DeepFlowAgent(Kernel(sim, "node-1"), agent_index=1)
-    clock = time.perf_counter()
-    for record in records:
-        agent._process_event(record)
-    elapsed = time.perf_counter() - clock
+    # Best of three fresh agents: a single cold pass once recorded a
+    # 2x-low figure that read as a regression but was only a loaded
+    # machine (see CHANGES.md PR 9) — the same event stream replayed on
+    # a warm process reproduces the real per-event cost.
+    elapsed = None
+    agent = None
+    for _attempt in range(3):
+        sim = Simulator(seed=1)
+        agent = DeepFlowAgent(Kernel(sim, "node-1"), agent_index=1)
+        clock = time.perf_counter()
+        for record in records:
+            agent._process_event(record)
+        run = time.perf_counter() - clock
+        elapsed = run if elapsed is None else min(elapsed, run)
     return {
         "events": AGENT_EVENTS,
         "spans_emitted": agent.stats["spans_emitted"],
@@ -86,13 +133,18 @@ def bench_store_ingest() -> dict:
         start_time=index * 1e-4, end_time=index * 1e-4 + 1e-3,
         systrace_id=index // 4, flow_key=("flow", index % 977),
         req_tcp_seq=index) for index in range(STORE_SPANS)]
-    store = SpanStore()
-    clock = time.perf_counter()
-    store.insert_many(spans)
-    insert_seconds = time.perf_counter() - clock
-    clock = time.perf_counter()
-    store.flush()
-    commit_seconds = time.perf_counter() - clock
+    insert_seconds = commit_seconds = None
+    for _attempt in range(3):
+        store = SpanStore()
+        clock = time.perf_counter()
+        store.insert_many(spans)
+        insert_run = time.perf_counter() - clock
+        clock = time.perf_counter()
+        store.flush()
+        commit_run = time.perf_counter() - clock
+        if insert_seconds is None or (insert_run + commit_run
+                                      < insert_seconds + commit_seconds):
+            insert_seconds, commit_seconds = insert_run, commit_run
     return {
         "spans": STORE_SPANS,
         "insert_rate_spans_per_second": round(STORE_SPANS / insert_seconds),
@@ -139,6 +191,172 @@ def bench_trace_assembly() -> dict:
         "trace_assembly_fast_ms": round(fast_seconds * 1e3, 4),
         "trace_assembly_reference_ms": round(reference_seconds * 1e3, 4),
         "speedup": round(reference_seconds / fast_seconds, 1),
+    }
+
+
+def _sharding_spans(count: int = STORE_SPANS) -> list[Span]:
+    """The sharding workload: groups of four spans share a systrace id
+    (the routing key); every tenth group also carries the previous
+    group's X-Request-ID, so a slice of the population associates across
+    routing keys — and, near window edges, across shards — keeping the
+    boundary-merge machinery on the measured path."""
+    spans = []
+    for index in range(count):
+        group = index // 4
+        xreq = None
+        if group % 10 == 0 and group > 0 and index % 4 == 0:
+            xreq = f"xr-{group - 1}"
+        elif group % 10 == 9 and index % 4 == 3:
+            xreq = f"xr-{group}"
+        spans.append(Span(
+            span_id=index, kind=SpanKind.SYSCALL,
+            side=SpanSide.CLIENT if index % 2 else SpanSide.SERVER,
+            start_time=index * 1e-4, end_time=index * 1e-4 + 1e-3,
+            systrace_id=group, x_request_id=xreq,
+            flow_key=("flow", index % 977), req_tcp_seq=index))
+    return spans
+
+
+def _chunks(items: list, count: int) -> list[list]:
+    size = (len(items) + count - 1) // count
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _bench_one_shard_count(shards: int, spans: list[Span],
+                           repeats: int = 3) -> dict:
+    """Phase-priced ingest + query delay for one shard count.
+
+    The ingest is repeated on fresh stores and each phase member's cost
+    is the elementwise MIN across repeats — the standard best-estimate
+    of a deterministic member's true cost — before the parallel model
+    takes the MAX across members.  Without the min pass, the max is a
+    noise amplifier that grows with member count and biases the scaling
+    curve against higher shard counts.  The collector is paused during
+    the phased section for the same reason: a whole-process gen-2 GC
+    pass lands deterministically on whichever member crosses the
+    allocation threshold, but in the modeled deployment every shard
+    process has its own heap, so charging one member the fleet's
+    entire GC is a single-process artifact, not a cost of sharding.
+    """
+    route_times = shard_times = partition_times = None
+    apply_seconds = None
+    store = None
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    for _attempt in range(repeats):
+        store = ShardedSpanStore(shards, window=SHARD_WINDOW)
+        # Routing: stateless, done client-side by the agent fleet —
+        # modeled as the max over a fixed number of routing clients.
+        routes = []
+        client_batches = []
+        for chunk in _chunks(spans, ROUTER_CLIENTS):
+            clock = time.perf_counter()
+            client_batches.append(store.route_batches(chunk))
+            routes.append(time.perf_counter() - clock)
+        merged = [[] for _ in range(shards)]
+        for batches in client_batches:
+            for index, batch in enumerate(batches):
+                merged[index].extend(batch)
+        # Shard phase: insert + key/time commit + first-seen-key seal,
+        # per shard — each shard server runs this independently.
+        shard = []
+        for index, batch in enumerate(merged):
+            clock = time.perf_counter()
+            store.shards[index].insert_many(batch)
+            store.shards[index].flush()
+            store.seal_shard(index)
+            shard.append(time.perf_counter() - clock)
+        # Boundary phase: per-partition owner-table probes (a
+        # partitioned keyspace service), then the one serial link apply.
+        partitions = []
+        links = []
+        for partition in range(store.partition_count):
+            clock = time.perf_counter()
+            links.extend(store.probe_partition(partition))
+            partitions.append(time.perf_counter() - clock)
+        clock = time.perf_counter()
+        store.apply_boundary_links(links)
+        apply = time.perf_counter() - clock
+        if route_times is None:
+            route_times, shard_times = routes, shard
+            partition_times, apply_seconds = partitions, apply
+        else:
+            route_times = [min(a, b) for a, b in zip(route_times, routes)]
+            shard_times = [min(a, b) for a, b in zip(shard_times, shard)]
+            partition_times = [min(a, b) for a, b
+                               in zip(partition_times, partitions)]
+            apply_seconds = min(apply_seconds, apply)
+    if gc_was_enabled:
+        gc.enable()
+
+    route_max = max(route_times)
+    shard_max = max(shard_times)
+    partition_max = max(partition_times) if partition_times else 0.0
+    modeled = route_max + shard_max + partition_max + apply_seconds
+    serial = (sum(route_times) + sum(shard_times)
+              + sum(partition_times) + apply_seconds)
+
+    # Query delay: scatter-gather trace queries against the full store.
+    starts = [span.span_id for span in spans[::4][:TRACE_QUERIES]]
+    clock = time.perf_counter()
+    for start in starts:
+        store.component_spans(start)
+    query_seconds = (time.perf_counter() - clock) / len(starts)
+    stats = store.shard_stats()
+    return {
+        "modeled_spans_per_second": round(len(spans) / modeled),
+        "serial_spans_per_second": round(len(spans) / serial),
+        "route_max_ms": round(route_max * 1e3, 2),
+        "shard_max_ms": round(shard_max * 1e3, 2),
+        "partition_max_ms": round(partition_max * 1e3, 2),
+        "link_apply_ms": round(apply_seconds * 1e3, 2),
+        "boundary_links": stats["boundary_links"],
+        "imbalance": round(stats["imbalance"], 3),
+        "trace_query_us": round(query_seconds * 1e6, 2),
+    }
+
+
+def bench_sharding() -> dict:
+    """Fig-15-style scaling: ingest-to-queryable throughput across shard
+    counts, plus a query-delay curve over a growing 4-shard store."""
+    spans = _sharding_spans()
+    # Throwaway warmup: the first phased ingest of a process pays
+    # allocator growth and cold branch predictors, and whichever shard
+    # count runs first would eat it — usually the 1-shard baseline,
+    # skewing every ratio computed against it.
+    _bench_one_shard_count(2, spans[:10_000], repeats=1)
+    scaling = {str(count): _bench_one_shard_count(count, spans,
+                                                  repeats=4)
+               for count in SHARD_COUNTS}
+    base = scaling["1"]["modeled_spans_per_second"]
+    # Query-delay growth curve: delay must stay flat as the store grows
+    # (component lookup is O(result), not O(store)).
+    growth_store = ShardedSpanStore(4, window=SHARD_WINDOW)
+    curve = []
+    step = len(spans) // 5
+    for stop in range(step, len(spans) + 1, step):
+        growth_store.insert_many(spans[stop - step:stop])
+        growth_store.flush()
+        starts = [span.span_id for span in spans[:stop:4][:50]]
+        clock = time.perf_counter()
+        for start in starts:
+            growth_store.component_spans(start)
+        per_query = (time.perf_counter() - clock) / len(starts)
+        curve.append({"spans": stop,
+                      "trace_query_us": round(per_query * 1e6, 2)})
+    return {
+        "spans": len(spans),
+        "router_clients": ROUTER_CLIENTS,
+        "window_s": SHARD_WINDOW,
+        "scaling": scaling,
+        "speedup_1_to_2": round(
+            scaling["2"]["modeled_spans_per_second"] / base, 2),
+        "speedup_1_to_4": round(
+            scaling["4"]["modeled_spans_per_second"] / base, 2),
+        "speedup_1_to_8": round(
+            scaling["8"]["modeled_spans_per_second"] / base, 2),
+        "query_delay_curve_4_shards": curve,
     }
 
 
@@ -212,19 +430,77 @@ def bench_overload() -> dict:
     }
 
 
+def _lookup(report: dict, dotted: str):
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check_regressions(fresh: dict, baseline: dict,
+                      threshold: float) -> list[str]:
+    """Gated metrics that dropped more than *threshold* vs baseline."""
+    failures = []
+    for dotted in GATED_METRICS:
+        base = _lookup(baseline, dotted)
+        now = _lookup(fresh, dotted)
+        if base is None or now is None or base <= 0:
+            continue
+        drop = 1.0 - now / base
+        if drop > threshold:
+            failures.append(
+                f"{dotted}: {now} vs baseline {base} "
+                f"({drop:+.1%} drop exceeds {threshold:.0%} threshold)")
+    return failures
+
+
 def main(argv: list[str]) -> int:
-    out_path = argv[1] if len(argv) > 1 else "BENCH_results.json"
+    parser = argparse.ArgumentParser(
+        prog="bench_report",
+        description="run the benchmark suite and emit BENCH_results.json")
+    parser.add_argument("output", nargs="?", default="BENCH_results.json")
+    parser.add_argument(
+        "--check", nargs="?", const="BENCH_results.json", default=None,
+        metavar="BASELINE",
+        help="compare against a committed baseline JSON and exit "
+             "non-zero on throughput regressions "
+             "(default baseline: BENCH_results.json)")
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="maximum tolerated fractional drop per gated metric "
+             "(default 0.20)")
+    args = parser.parse_args(argv[1:])
     report = {
         "agent_pipeline": bench_agent_pipeline(),
         "store_ingest": bench_store_ingest(),
         "trace_assembly": bench_trace_assembly(),
+        "sharding": bench_sharding(),
         "overload": bench_overload(),
     }
-    with open(out_path, "w", encoding="utf-8") as handle:
+    with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     json.dump(report, sys.stdout, indent=2, sort_keys=True)
     print()
+    if args.check is not None:
+        try:
+            with open(args.check, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"bench_report: cannot read baseline {args.check}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        failures = check_regressions(report, baseline, args.threshold)
+        if failures:
+            print("bench_report: throughput regression vs "
+                  f"{args.check}:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"bench_report: no regressions vs {args.check} "
+              f"(threshold {args.threshold:.0%})")
     return 0
 
 
