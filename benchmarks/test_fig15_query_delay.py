@@ -21,6 +21,8 @@ from benchmarks.conftest import deploy_deepflow, flush_all, print_table, \
 
 from repro.apps import springboot
 from repro.core.span import SpanSide
+from repro.server.database import SpanStore
+from repro.server.streaming import ContinuousAssembler
 from repro.sim.engine import Simulator
 
 REQUESTS_TARGET = 400
@@ -136,3 +138,71 @@ def test_fig15_algorithm1_converges_quickly(benchmark, populated_server):
     fast = {span.span_id for span in server.trace(start_id)}
     assert server.store.search_count == before
     assert fast == reference
+
+
+def test_fig15_continuous_pipeline_operating_point(benchmark,
+                                                   populated_server):
+    """The push path's answer to Fig 15: with continuous assembly, the
+    trace is already finished when the user asks for it, so the
+    query-time delay collapses to a map lookup.  The operating point we
+    report: at the largest store size this benchmark builds, the
+    ingest-to-finished *retrieval* delay must be at most 10% of the
+    pull path's trace-query delay — and the table also prices the
+    amortized per-span push cost so the comparison stays honest about
+    where the work went (it moved to ingest, it did not vanish).
+    """
+    server, client_spans, sim = populated_server
+    spans = list(server.store.all_spans())
+    spans.sort(key=lambda span: (span.end_time, span.span_id))
+
+    # Rebuild the same population on a streaming store, pricing the
+    # push path's incremental work as it would run at ingest time.
+    store = SpanStore()
+    assembler = ContinuousAssembler(store)
+    push_cost = 0.0
+    batch_size = 256
+    for start in range(0, len(spans), batch_size):
+        batch = spans[start:start + batch_size]
+        store.insert_many(batch)
+        clock = time.perf_counter()
+        assembler.on_spans(batch, batch[-1].end_time)
+        assembler.finalize_pending()
+        push_cost += time.perf_counter() - clock
+    clock = time.perf_counter()
+    assembler.drain(sim.now + 10.0)
+    push_cost += time.perf_counter() - clock
+    finished = assembler.finished
+    assert sum(len(record.trace) for record in finished) == len(spans)
+
+    # The user-facing retrieval structure the push path maintains.
+    trace_of = {}
+    for record in finished:
+        for span in record.trace:
+            trace_of[span.span_id] = record
+    rounds = 200
+    probes = [span.span_id for span in client_spans[:rounds]]
+    clock = time.perf_counter()
+    for span_id in probes:
+        trace = trace_of[span_id].trace
+    continuous_delay = (time.perf_counter() - clock) / len(probes)
+    assert len(trace) == 10
+
+    # Pull-path comparison at the same (largest) store size.
+    clock = time.perf_counter()
+    for span_id in probes:
+        server.trace(span_id)
+    pull_delay = (time.perf_counter() - clock) / len(probes)
+
+    per_span_push = push_cost / len(spans)
+    print_table(
+        "Fig 15 operating point: pull query vs continuous pipeline",
+        ["path", "per-trace delay (us)", "notes"],
+        [("pull: trace query (graph index)", f"{pull_delay * 1e6:.2f}",
+          "assembles at query time"),
+         ("push: finished-trace lookup", f"{continuous_delay * 1e6:.3f}",
+          "assembled before the query"),
+         ("push: ingest-side cost", f"{push_cost * 1e6 / len(finished):.2f}",
+          f"amortized, {per_span_push * 1e6:.2f} us/span")])
+    assert continuous_delay <= 0.10 * pull_delay
+    benchmark.pedantic(lambda: trace_of[probes[0]].trace,
+                       rounds=5, iterations=1)

@@ -5,6 +5,24 @@ this module closes the loop: a watchdog periodically scans recent spans
 for error bursts and latency regressions per service, emitting alerts
 that carry the span an operator (or :func:`repro.analysis.diagnose`)
 would start from.  It turns "rapid problem location" into a push model.
+
+Two refinements support continuous evaluation:
+
+* **Per-subject cooldown.**  A condition that persists across windows
+  would re-alert every scan; instead, after an alert fires, further
+  alerts with the same ``(kind, service)`` are suppressed until
+  ``cooldown`` sim-seconds have passed, with the suppressed count kept
+  per subject (:attr:`AnomalyWatchdog.suppressed`) so the report can
+  still say "…and 17 more".  Degradation-tier alerts bypass the
+  cooldown: they replay the controller's transition log exactly once,
+  so they are already deduplicated at the source and an enter/leave
+  pair must never lose its second half.
+* **Push-path latency budgets.**  :meth:`AnomalyWatchdog.
+  watch_streaming` attaches per-service latency budgets to a
+  :class:`repro.server.streaming.ContinuousAssembler`; violating spans
+  alert at *arrival* ("latency-budget" kind) instead of waiting for a
+  query-time scan — the server side only sees a duck-typed callback,
+  keeping the server→analysis layering intact.
 """
 
 from __future__ import annotations
@@ -20,7 +38,9 @@ from repro.core.span import Span, SpanSide
 class Alert:
     """One detected anomaly."""
 
-    kind: str       # "error-burst" | "latency-regression" | "degradation-tier"
+    # "error-burst" | "latency-regression" | "degradation-tier"
+    # | "latency-budget"
+    kind: str
     service: str              # process name (or agent host)
     window_start: float
     window_end: float
@@ -34,6 +54,12 @@ class Alert:
         if self.kind == "degradation-tier":
             return (f"[{self.kind}] agent {self.service} "
                     f"@{self.window_start:.2f}s: {self.detail}")
+        if self.kind == "latency-budget":
+            return (f"[{self.kind}] {self.service} "
+                    f"@{self.window_start:.2f}s: span ran "
+                    f"{self.value * 1000:.1f} ms against a "
+                    f"{self.threshold * 1000:.1f} ms budget"
+                    + (f" ({self.detail})" if self.detail else ""))
         if self.kind == "error-burst":
             detail = f"error rate {self.value:.0%} >= {self.threshold:.0%}"
         else:
@@ -68,7 +94,7 @@ class AnomalyWatchdog:
     def __init__(self, server, *, agents=(), window: float = 0.5,
                  error_rate_threshold: float = 0.2,
                  latency_ratio_threshold: float = 3.0,
-                 min_samples: int = 5):
+                 min_samples: int = 5, cooldown: float = 2.0):
         self.server = server
         #: Agents whose overload controllers are watched for tier moves.
         self.agents = list(agents)
@@ -76,24 +102,71 @@ class AnomalyWatchdog:
         self.error_rate_threshold = error_rate_threshold
         self.latency_ratio_threshold = latency_ratio_threshold
         self.min_samples = min_samples
+        #: Sim-seconds an alerted (kind, service) subject stays muted.
+        self.cooldown = cooldown
+        #: (kind, service) → alerts suppressed by the cooldown so far.
+        self.suppressed: dict[tuple[str, str], int] = {}
         self.alerts: list[Alert] = []
         self._baselines: dict[str, _ServiceBaseline] = {}
         self._scanned_until = 0.0
         self._seen_transitions: dict[int, int] = {}
+        self._last_fired: dict[tuple[str, str], float] = {}
 
     def watch_agent(self, agent) -> None:
         """Add an agent's degradation tiers to the scan set."""
         self.agents.append(agent)
 
+    def watch_streaming(self, assembler,
+                        budgets: dict[str, float]) -> None:
+        """Attach per-service latency *budgets* (seconds) to a
+        continuous assembler: each violating span alerts the moment it
+        arrives on the push path, subject to the same per-subject
+        cooldown as scan-time alerts."""
+        assembler.set_budget_sink(self._on_budget_violation, budgets)
+
+    def _on_budget_violation(self, span: Span, budget: float,
+                             now: float) -> None:
+        """Budget-sink callback invoked by the assembler's hot path."""
+        alert = Alert(
+            kind="latency-budget",
+            service=span.process_name or span.host,
+            window_start=now, window_end=now,
+            value=span.end_time - span.start_time, threshold=budget,
+            exemplar_span_id=span.span_id,
+            detail=span.endpoint or span.protocol)
+        if self._admit(alert):
+            self.alerts.append(alert)
+
+    def _admit(self, alert: Alert) -> bool:
+        """Cooldown gate: at most one alert per (kind, service) per
+        ``cooldown`` sim-seconds, counting what it mutes.
+
+        Degradation-tier alerts always pass — the transition log is
+        replayed exactly once, and muting a "recovered" half of an
+        enter/leave pair would invert the operator's picture.
+        """
+        if alert.kind == "degradation-tier" or self.cooldown <= 0:
+            return True
+        key = (alert.kind, alert.service)
+        last = self._last_fired.get(key)
+        if last is not None and alert.window_start - last < self.cooldown:
+            self.suppressed[key] = self.suppressed.get(key, 0) + 1
+            return False
+        self._last_fired[key] = alert.window_start
+        return True
+
     def scan(self, now: float) -> list[Alert]:
         """Scan complete windows in (scanned_until, now]; returns new
-        alerts (also appended to :attr:`alerts`)."""
-        new_alerts: list[Alert] = self._scan_degradation()
+        alerts (also appended to :attr:`alerts`), after the per-subject
+        cooldown has filtered repeats."""
+        candidates: list[Alert] = self._scan_degradation()
         while self._scanned_until + self.window <= now:
             start = self._scanned_until
             end = start + self.window
-            new_alerts.extend(self._scan_window(start, end))
+            candidates.extend(self._scan_window(start, end))
             self._scanned_until = end
+        new_alerts = [alert for alert in candidates
+                      if self._admit(alert)]
         self.alerts.extend(new_alerts)
         return new_alerts
 

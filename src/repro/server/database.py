@@ -355,6 +355,33 @@ class SpanStore:
         used by the sharded store's seal phase."""
         self._commit_keys()
 
+    # -- component-changed events (continuous pipeline) ---------------------
+
+    def arm_component_events(self) -> None:
+        """Turn on the union-find's link-event sink.
+
+        From here on, every shared-key link the key commit discovers is
+        also logged as an ``(a, b)`` pair for
+        :meth:`take_component_events` — the push-path signal the
+        continuous assembler consumes.  Idempotent.
+        """
+        if self.graph.events is None:
+            self.graph.events = []
+
+    def take_component_events(self) -> list[tuple[int, int]]:
+        """Commit pending keys and drain the accumulated link events.
+
+        Each event says "span *a* was just linked into span *b*'s
+        component".  Returns an empty list when nothing merged.
+        Requires :meth:`arm_component_events` first.
+        """
+        self._commit_keys()
+        events = self.graph.events
+        if not events:
+            return []
+        self.graph.events = []
+        return events
+
     def pending_key_count(self) -> int:
         """How many tail spans the key commit has not yet indexed."""
         return len(self._tail) - self._keys_committed

@@ -28,7 +28,7 @@ paper's span-list vs trace-query ratio story stays visible.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 #: Protocols whose (resource, message id) pairs identify a message across
 #: a broker relay — the queue-tracing extension's association axis.
@@ -101,6 +101,14 @@ class TraceGraphIndex:
         #: mode only).
         self._key_owner: dict[tuple, int] = {}
         self.merges = 0
+        #: Optional component-changed event sink.  When armed (set to a
+        #: list — the continuous pipeline does this through
+        #: ``SpanStore.arm_component_events``), every link applied by
+        #: :meth:`link_batch` is also appended here as an ``(a, b)``
+        #: pair, giving push-path consumers the exact merge stream the
+        #: forest saw.  Mirrors the ``first_seen_keys`` armed-sink
+        #: pattern: None (the default) costs one branch per batch.
+        self.events: Optional[list] = None
 
     def __len__(self) -> int:
         return len(self._parent)
@@ -134,6 +142,10 @@ class TraceGraphIndex:
         then coalesces every merge here with the forest dicts held in
         locals — no per-link method dispatch.
         """
+        events = self.events
+        if events is not None:
+            links = list(links)
+            events.extend(links)
         parent = self._parent
         members = self._members
         merges = 0

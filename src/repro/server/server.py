@@ -10,11 +10,14 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.core.export import OtlpStreamExporter, metrics_to_otlp_json
+from repro.core.metrics import PipelineMetrics
 from repro.core.span import Span, SpanKind, SpanSide, Trace
 from repro.server.assembler import DEFAULT_ITERATIONS, TraceAssembler
 from repro.server.database import SpanStore
 from repro.server.metricsdb import MetricsDatabase
 from repro.server.sharding import DEFAULT_WINDOW, ShardedSpanStore
+from repro.server.streaming import ContinuousAssembler
 from repro.server.tags import TagRegistry
 
 
@@ -33,9 +36,12 @@ class DeepFlowServer:
 
     def __init__(self, iterations: int = DEFAULT_ITERATIONS,
                  shards: int = 1,
-                 shard_window: float = DEFAULT_WINDOW):
+                 shard_window: float = DEFAULT_WINDOW,
+                 streaming: bool = False):
+        self.pipeline_metrics = PipelineMetrics()
         if shards > 1:
-            self.store = ShardedSpanStore(shards, window=shard_window)
+            self.store = ShardedSpanStore(shards, window=shard_window,
+                                          metrics=self.pipeline_metrics)
         else:
             self.store = SpanStore()
         self.shards = shards
@@ -44,6 +50,18 @@ class DeepFlowServer:
         self.assembler = TraceAssembler(self.store, iterations=iterations)
         self._next_agent_index = 1
         self.ingested_spans = 0
+        self._m_ingested = self.pipeline_metrics.counter(
+            "server.spans_ingested", "spans accepted by ingest")
+        self._m_batches = self.pipeline_metrics.counter(
+            "server.ingest_batches", "agent shipments received")
+        self._h_batch = self.pipeline_metrics.histogram(
+            "server.ingest_batch_spans",
+            bounds=(1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0),
+            description="spans per ingest batch")
+        #: Push-path assembler; None until streaming is enabled.
+        self.streaming: Optional[ContinuousAssembler] = None
+        if streaming:
+            self.enable_streaming()
 
     # -- agent registration ----------------------------------------------
 
@@ -77,10 +95,54 @@ class DeepFlowServer:
         """Cloud resource tags arrive directly at the server (step ③)."""
         self.tags.register(vpc, ip, tags)
 
+    # -- continuous pipeline ----------------------------------------------
+
+    def enable_streaming(self, *, exporter=None,
+                         latency_budgets: Optional[dict] = None,
+                         budget_sink=None,
+                         **assembler_kwargs) -> ContinuousAssembler:
+        """Turn on the push path: arm the store's component-event sink
+        and attach a :class:`ContinuousAssembler` fed by every later
+        :meth:`ingest_spans` call.  Finished traces flow to *exporter*
+        (an :class:`repro.core.export.OtlpStreamExporter` by default).
+        Idempotent — returns the existing assembler if already enabled.
+        """
+        if self.streaming is not None:
+            return self.streaming
+        if exporter is None:
+            exporter = OtlpStreamExporter()
+        self.streaming = ContinuousAssembler(
+            self.store, metrics=self.pipeline_metrics,
+            exporter=exporter, **assembler_kwargs)
+        if latency_budgets:
+            self.streaming.set_budget_sink(budget_sink, latency_budgets)
+        return self.streaming
+
+    def pipeline_stats(self) -> dict:
+        """Self-metrics snapshot of every pipeline stage wired to this
+        server: agent dispatch, shard routing, ingest, continuous
+        assembly, and export."""
+        stats = {
+            "metrics": self.pipeline_metrics.snapshot(),
+            "ingested_spans": self.ingested_spans,
+        }
+        if self.streaming is not None:
+            stats["streaming"] = self.streaming.stats()
+            if self.streaming.exporter is not None:
+                stats["export"] = self.streaming.exporter.stats()
+        if self.shards > 1:
+            stats["shards"] = self.store.shard_stats()
+        return stats
+
+    def pipeline_metrics_otlp(self, now: float) -> dict:
+        """The same self-metrics in OTLP ``resourceMetrics`` form."""
+        return metrics_to_otlp_json(self.pipeline_metrics, now)
+
     # -- ingestion ---------------------------------------------------------
 
     def ingest_spans(self, spans: list[Span],
-                     tenant: Optional[str] = None) -> None:
+                     tenant: Optional[str] = None,
+                     now: Optional[float] = None) -> None:
         """Enrich and store a batch of spans from an agent.
 
         The whole batch goes through :meth:`SpanStore.insert_many`, so
@@ -89,6 +151,10 @@ class DeepFlowServer:
         When *tenant* is given the label is stamped into each span's
         tags and, on a sharded store, salts the routing hash so tenants
         spread across shards independently.
+
+        With streaming enabled the batch also pushes through the
+        continuous assembler at sim time *now* (agents pass their
+        clock; when absent, the batch's latest span end stands in).
         """
         for span in spans:
             self._enrich(span)
@@ -99,6 +165,15 @@ class DeepFlowServer:
         else:
             self.store.insert_many(spans)
         self.ingested_spans += len(spans)
+        self._m_ingested.inc(len(spans))
+        self._m_batches.inc()
+        self._h_batch.observe(len(spans))
+        streaming = self.streaming
+        if streaming is not None and spans:
+            if now is None:
+                now = max(span.end_time for span in spans)
+            streaming.on_spans(spans, now)
+            streaming.finalize_pending()
 
     def _enrich(self, span: Span) -> None:
         """Smart-encoding step ⑦: (vpc, ip) → resource tags in Int form.
@@ -114,12 +189,19 @@ class DeepFlowServer:
         if encoded:
             span.tags.update(self.tags.decode(encoded))
 
-    def ingest_otel_span(self, span: Span) -> None:
+    def ingest_otel_span(self, span: Span,
+                         now: Optional[float] = None) -> None:
         """Third-party span integration (§3.3.2)."""
         if span.kind is not SpanKind.APP:
             raise ValueError("third-party spans must have kind APP")
         self.store.insert(span)
         self.ingested_spans += 1
+        self._m_ingested.inc()
+        streaming = self.streaming
+        if streaming is not None:
+            streaming.on_spans((span,),
+                               span.end_time if now is None else now)
+            streaming.finalize_pending()
 
     # -- query API (what the front end calls) --------------------------------
 

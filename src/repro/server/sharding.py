@@ -61,6 +61,7 @@ import heapq
 import zlib
 from typing import Callable, Iterable, Optional
 
+from repro.core.metrics import Counter, PipelineMetrics
 from repro.core.span import Span
 from repro.server.database import AssociationFilter, SpanStore
 from repro.server.index import TraceGraphIndex
@@ -107,7 +108,8 @@ class ShardedSpanStore:
 
     def __init__(self, shard_count: int = 4, *,
                  window: float = DEFAULT_WINDOW,
-                 boundary_partitions: Optional[int] = None) -> None:
+                 boundary_partitions: Optional[int] = None,
+                 metrics: Optional[PipelineMetrics] = None) -> None:
         if not 1 <= shard_count <= MAX_SHARDS:
             raise ValueError(
                 f"shard_count must be in [1, {MAX_SHARDS}]")
@@ -139,6 +141,17 @@ class ShardedSpanStore:
         #: Cross-shard links applied so far (observability: how much of
         #: the keyspace actually straddles shards).
         self.boundary_links = 0
+        # Shard-routing self-metrics; standalone counters when no
+        # registry is shared, so the ingest path has no None-check.
+        if metrics is not None:
+            self._m_routed = metrics.counter(
+                "router.spans_routed", "spans hashed to a shard")
+            self._m_boundary = metrics.counter(
+                "router.boundary_links",
+                "cross-shard links merged into the boundary forest")
+        else:
+            self._m_routed = Counter("router.spans_routed")
+            self._m_boundary = Counter("router.boundary_links")
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
@@ -221,16 +234,22 @@ class ShardedSpanStore:
         shards = self.shards
         route = self._route
         if tenant:
+            routed = 0
             for span in spans:
                 span.tags.setdefault("tenant", tenant)
                 shards[route(span, salt)].insert(span)
+                routed += 1
+            self._m_routed.inc(routed)
             return
         # Batch per shard so each shard's insert_many runs one tight
         # loop (duplicate check + append) over its share.
         batches = self.route_batches(spans)
+        routed = 0
         for shard, batch in zip(shards, batches):
             if batch:
                 shard.insert_many(batch)
+                routed += len(batch)
+        self._m_routed.inc(routed)
 
     # -- commit / seal phases ---------------------------------------------
 
@@ -287,6 +306,7 @@ class ShardedSpanStore:
         if links:
             self.boundary.link_batch(links)
             self.boundary_links += len(links)
+            self._m_boundary.inc(len(links))
 
     def merge_boundaries(self) -> None:
         """Run every partition probe and apply the discovered links."""
@@ -295,6 +315,7 @@ class ShardedSpanStore:
             if links:
                 self.boundary.link_batch(links)
                 self.boundary_links += len(links)
+                self._m_boundary.inc(len(links))
 
     def flush(self) -> None:
         """Force all deferred maintenance: shard commits, boundary seal,
@@ -322,6 +343,39 @@ class ShardedSpanStore:
                 dirty = True
         if dirty or any(self._buckets):
             self.merge_boundaries()
+
+    # -- component-changed events (continuous pipeline) ---------------------
+
+    def arm_component_events(self) -> None:
+        """Arm the link-event sinks: every per-shard union-find *and*
+        the cross-shard boundary forest.  The continuous assembler then
+        sees intra-shard merges and cross-shard merges through one
+        drain.  Idempotent."""
+        for shard in self.shards:
+            shard.arm_component_events()
+        if self.boundary.events is None:
+            self.boundary.events = []
+
+    def take_component_events(self) -> list[tuple[int, int]]:
+        """Commit pending work on every shard, merge boundaries, and
+        drain the accumulated link events from all forests.
+
+        Per-shard events come first (their spans must exist before a
+        cross-shard link can cite them), then boundary links — each as
+        "span *a* joined span *b*'s component".
+        """
+        self._ensure_traceable()
+        out: list[tuple[int, int]] = []
+        for shard in self.shards:
+            events = shard.graph.events
+            if events:
+                out.extend(events)
+                shard.graph.events = []
+        events = self.boundary.events
+        if events:
+            out.extend(events)
+            self.boundary.events = []
+        return out
 
     # -- point lookups -----------------------------------------------------
 

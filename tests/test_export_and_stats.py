@@ -6,7 +6,9 @@ import pytest
 
 from repro.apps.loadgen import LoadGenerator
 from repro.apps.runtime import HttpService, Response
-from repro.core.export import trace_to_jaeger, trace_to_json, trace_to_otlp
+from repro.core.export import (FORMATS, decode_otlp_json, register_format,
+                               trace_to_jaeger, trace_to_json,
+                               trace_to_otlp, trace_to_otlp_json)
 from repro.network.topology import ClusterBuilder
 from repro.network.transport import Network
 from repro.server.server import DeepFlowServer
@@ -106,17 +108,76 @@ class TestOtlpExport:
                 assert span["parentSpanId"] in ids
 
 
+class TestOtlpJsonExport:
+    """The canonical resourceSpans form the continuous pipeline emits."""
+
+    def test_resource_scope_span_structure(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        payload = trace_to_otlp_json(trace)
+        services = set()
+        spans = []
+        for entry in payload["resourceSpans"]:
+            attrs = {a["key"]: a["value"]
+                     for a in entry["resource"]["attributes"]}
+            services.add(attrs["service.name"]["stringValue"])
+            (scope_entry,) = entry["scopeSpans"]
+            assert scope_entry["scope"]["name"] == "repro.deepflow"
+            spans.extend(scope_entry["spans"])
+        assert services == {"client", "svc"}
+        assert len(spans) == len(trace)
+
+    def test_hex_ids_and_int64_strings(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        payload = trace_to_otlp_json(trace)
+        for entry in payload["resourceSpans"]:
+            for span in entry["scopeSpans"][0]["spans"]:
+                assert len(span["traceId"]) == 32
+                assert len(span["spanId"]) == 16
+                assert isinstance(span["startTimeUnixNano"], str)
+                assert (int(span["endTimeUnixNano"])
+                        >= int(span["startTimeUnixNano"]))
+
+    def test_status_mapping_reports_ok(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        payload = trace_to_otlp_json(trace)
+        codes = {span["status"]["code"]
+                 for entry in payload["resourceSpans"]
+                 for span in entry["scopeSpans"][0]["spans"]}
+        assert codes == {"STATUS_CODE_OK"}
+
+    def test_decoder_round_trips_live_payload(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        payload = trace_to_otlp_json(trace)
+        decoded = decode_otlp_json(json.loads(json.dumps(payload)))
+        total = sum(len(resource["spans"])
+                    for resource in decoded["resources"])
+        assert total == len(trace)
+
+
 class TestJsonSerialization:
     def test_round_trips_through_json(self, traced_world):
         _server, _agents, trace, _report = traced_world
-        for fmt in ("jaeger", "otlp"):
+        for fmt in ("jaeger", "otlp", "otlp-json"):
             text = trace_to_json(trace, fmt=fmt)
             assert json.loads(text)
 
-    def test_unknown_format_rejected(self, traced_world):
+    def test_unknown_format_lists_supported(self, traced_world):
         _server, _agents, trace, _report = traced_world
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             trace_to_json(trace, fmt="zipkin-thrift")
+        message = str(excinfo.value)
+        assert "zipkin-thrift" in message
+        for fmt in sorted(FORMATS):
+            assert fmt in message
+
+    def test_registry_extends_without_code_changes(self, traced_world):
+        _server, _agents, trace, _report = traced_world
+        register_format("span-count", lambda t: {"spans": len(t)})
+        try:
+            payload = json.loads(trace_to_json(trace, fmt="span-count"))
+            assert payload == {"spans": len(trace)}
+        finally:
+            del FORMATS["span-count"]
 
 
 class TestAgentStats:

@@ -56,6 +56,10 @@ HOT_SEEDS: dict[str, tuple[str, ...]] = {
                       "_process_uprobe_record", "_process_syscall_record",
                       "_process_degraded_record", "_ingest_message",
                       "_emit_session", "_on_enter", "_on_exit"),
+    # The continuous assembler's push entry runs per ingest batch with
+    # per-span and per-link-event loops; parent assembly (which sorts)
+    # is deliberately split into finalize_pending, off this closure.
+    "ContinuousAssembler": ("on_spans",),
 }
 
 #: class name → methods whose ENTIRE body must be allocation-free: the
@@ -69,6 +73,13 @@ ALLOC_FREE_SEEDS: dict[str, tuple[str, ...]] = {
     # fast path must stay allocation-free (the tuple-key fallback lives
     # in the cold _slow_route_hash helper, deliberately not listed).
     "ShardedSpanStore": ("_route",),
+    # Pipeline self-metrics increments are sprinkled through every
+    # ingest stage (agent poll/ship, shard routing, server ingest,
+    # continuous assembly), so an allocation creeping into one taxes
+    # the whole pipeline at span rate.
+    "Counter": ("inc",),
+    "Gauge": ("set",),
+    "Histogram": ("observe",),
 }
 
 ALLOC_CALLS = {"list", "dict", "set", "tuple", "frozenset", "sorted"}

@@ -5,8 +5,10 @@ throughput, span-store ingest, Algorithm 1 trace assembly (incremental
 trace-graph index vs the iterative reference), sharded-store ingest
 scaling with the scatter-gather query delay — plus the overload
 self-protection trade (overhead vs trace completeness under a 10x ramp,
-protection on vs off), and writes them as one JSON document, so perf
-regressions show up as a diffable artifact rather than scrolling
+protection on vs off) and the continuous-pipeline throughput (ingest →
+push-path assembly → OTLP export, with its deterministic sim-time
+ingest-to-finished latency) — and writes them as one JSON document, so
+perf regressions show up as a diffable artifact rather than scrolling
 benchmark logs.
 
 Usage::
@@ -46,6 +48,7 @@ import time
 from repro.agent.agent import AgentConfig, DeepFlowAgent
 from repro.apps.loadgen import LoadGenerator
 from repro.apps.runtime import HttpService, Response
+from repro.core.export import OtlpStreamExporter
 from repro.core.span import Span, SpanKind, SpanSide
 from repro.kernel.kernel import Kernel
 from repro.kernel.sockets import FiveTuple
@@ -70,9 +73,14 @@ SHARD_COUNTS = (1, 2, 4, 8)
 ROUTER_CLIENTS = 8
 SHARD_WINDOW = 0.5
 
-#: Dotted paths of higher-is-better metrics the --check gate compares.
-#: Paths missing from the baseline are skipped, so new sections land
-#: without a flag day.
+STREAM_SPANS = 50_000
+STREAM_BATCH = 512
+
+#: Dotted paths of gated metrics the --check gate compares.  A leading
+#: ``-`` marks a lower-is-better metric (latency: a regression is the
+#: fresh value exceeding the baseline by more than the threshold);
+#: plain paths are higher-is-better throughputs.  Paths missing from
+#: the baseline are skipped, so new sections land without a flag day.
 GATED_METRICS = (
     "agent_pipeline.events_per_second",
     "store_ingest.insert_rate_spans_per_second",
@@ -80,6 +88,9 @@ GATED_METRICS = (
     "trace_assembly.speedup",
     "sharding.scaling.4.modeled_spans_per_second",
     "sharding.speedup_1_to_4",
+    "streaming.spans_per_second",
+    "streaming.export_spans_per_second",
+    "-streaming.p99_finish_lag_ms",
 )
 
 
@@ -430,6 +441,91 @@ def bench_overload() -> dict:
     }
 
 
+def _streaming_spans(count: int = STREAM_SPANS) -> list[Span]:
+    """Groups of four spans per trace; the first is a server-side entry
+    enclosing the rest, so the continuous assembler retires traces via
+    the root-complete heuristic *during* ingest — the steady state, not
+    a terminal drain.  (Self-contained twin of
+    benchmarks/test_streaming_pipeline.py: same shape, same sizes.)"""
+    spans = []
+    for index in range(count):
+        group = index // 4
+        pos = index % 4
+        group_t = group * 4e-5
+        start = group_t + pos * 1e-6
+        end = group_t + (2e-3 if pos == 0 else 1e-3 + pos * 1e-6)
+        spans.append(Span(
+            span_id=index + 1, kind=SpanKind.SYSCALL,
+            side=SpanSide.SERVER if pos == 0 else SpanSide.CLIENT,
+            start_time=start, end_time=end,
+            host="n1", process_name=f"svc-{group % 7}",
+            protocol="http", operation="GET", resource="/api",
+            status="ok", status_code=200,
+            systrace_id=group))
+    return spans
+
+
+def bench_streaming() -> dict:
+    """Continuous pipeline: ingest -> push-path assembly -> OTLP export.
+
+    Wall clock prices the full chain (store insert, link events,
+    live-trace maintenance, parent assignment, OTLP/JSON encoding); the
+    ingest-to-finished latency comes from the deterministic sim-time
+    ``stream.finish_lag_s`` histogram, so the gated p99 is a lifecycle
+    property that cannot flap with host speed.
+    """
+    spans = _streaming_spans()
+    elapsed = None
+    server = None
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _attempt in range(3):
+            server = DeepFlowServer()
+            exporter = OtlpStreamExporter(keep_payloads=False)
+            server.enable_streaming(exporter=exporter)
+            clock = time.perf_counter()
+            for start in range(0, len(spans), STREAM_BATCH):
+                batch = spans[start:start + STREAM_BATCH]
+                server.ingest_spans(batch, now=batch[-1].end_time)
+            end_time = spans[-1].end_time
+            server.streaming.tick(end_time + 0.06)
+            server.streaming.drain(end_time + 0.06)
+            run = time.perf_counter() - clock
+            elapsed = run if elapsed is None else min(elapsed, run)
+            gc.collect()
+        # Export throughput in isolation: re-encode the finished traces.
+        traces = [record.trace for record in server.streaming.finished]
+        export_seconds = None
+        for _attempt in range(3):
+            sink = OtlpStreamExporter(keep_payloads=False)
+            clock = time.perf_counter()
+            for trace in traces:
+                sink.export_trace(trace)
+            run = time.perf_counter() - clock
+            export_seconds = (run if export_seconds is None
+                              else min(export_seconds, run))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    lag = server.pipeline_metrics.get("stream.finish_lag_s")
+    stream = server.streaming.stats()
+    return {
+        "spans": len(spans),
+        "traces": stream["finished"],
+        "spans_per_second": round(len(spans) / elapsed),
+        "export_spans_per_second": round(sink.exported_spans
+                                         / export_seconds),
+        "p99_finish_lag_ms": round(lag.percentile(0.99) * 1e3, 1),
+        "mean_finish_lag_ms": round(lag.mean() * 1e3, 2),
+        "merges": stream["merges"],
+        "forced_finishes": sum(
+            1 for record in server.streaming.finished
+            if record.reason == "forced"),
+    }
+
+
 def _lookup(report: dict, dotted: str):
     node = report
     for part in dotted.split("."):
@@ -441,12 +537,26 @@ def _lookup(report: dict, dotted: str):
 
 def check_regressions(fresh: dict, baseline: dict,
                       threshold: float) -> list[str]:
-    """Gated metrics that dropped more than *threshold* vs baseline."""
+    """Gated metrics that regressed more than *threshold* vs baseline.
+
+    Plain paths are throughputs (regression = drop); ``-``-prefixed
+    paths are latencies (regression = growth).
+    """
     failures = []
-    for dotted in GATED_METRICS:
+    for gated in GATED_METRICS:
+        lower_is_better = gated.startswith("-")
+        dotted = gated[1:] if lower_is_better else gated
         base = _lookup(baseline, dotted)
         now = _lookup(fresh, dotted)
         if base is None or now is None or base <= 0:
+            continue
+        if lower_is_better:
+            growth = now / base - 1.0
+            if growth > threshold:
+                failures.append(
+                    f"{dotted}: {now} vs baseline {base} "
+                    f"({growth:+.1%} growth exceeds {threshold:.0%} "
+                    f"threshold)")
             continue
         drop = 1.0 - now / base
         if drop > threshold:
@@ -478,6 +588,7 @@ def main(argv: list[str]) -> int:
         "trace_assembly": bench_trace_assembly(),
         "sharding": bench_sharding(),
         "overload": bench_overload(),
+        "streaming": bench_streaming(),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
